@@ -1,0 +1,47 @@
+// Reproduces paper Figures 10 and 11 (Section 5.3.3): throughput and
+// average response time as the update probability is varied.
+//
+// Expected shape (paper): higher update probability hurts NR and IRA
+// (more exclusive locks, more log volume) relatively more than PQR, whose
+// data contention is already severe at low update probabilities — but PQR
+// remains worst across the whole range.
+
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace brahma {
+namespace bench {
+namespace {
+
+void Run() {
+  std::vector<double> probs = {0.1, 0.3, 0.5, 0.7, 0.9};
+  if (FullMode()) probs = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
+                           0.9, 1.0};
+
+  std::printf("# Figure 10 (throughput, tps) and Figure 11 (avg response "
+              "time, ms) — update probability sweep\n");
+  PrintSeriesHeader("update_prob", {"nr_tps", "ira_tps", "pqr_tps",
+                                    "nr_art_ms", "ira_art_ms", "pqr_art_ms"});
+  for (double p : probs) {
+    double tput[3], art[3];
+    for (Scenario sc : {Scenario::kNR, Scenario::kIRA, Scenario::kPQR}) {
+      ExperimentConfig cfg;
+      cfg.workload.update_prob = p;
+      cfg.scenario = sc;
+      ExperimentResult r = RunExperiment(cfg);
+      tput[static_cast<int>(sc)] = r.driver.throughput_tps();
+      art[static_cast<int>(sc)] = r.driver.response_ms.mean();
+    }
+    PrintSeriesRow(p, {tput[0], tput[1], tput[2], art[0], art[1], art[2]});
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace brahma
+
+int main() {
+  brahma::bench::Run();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces paper Figures 6 and 7 (Section 5.3.1): throughput and
+// average response time of NR / IRA / PQR as the multiprogramming level
+// is varied, with all other parameters at the Table 1 defaults.
+//
+// Expected shape (paper): NR best; IRA within a few percent of NR across
+// all MPLs; PQR significantly lower. NR/IRA throughput peaks at a low MPL
+// (CPU saturates; only commit-time log forces leave room for overlap);
+// PQR peaks much later because it serializes the system behind its locks.
+
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace brahma {
+namespace bench {
+namespace {
+
+void Run() {
+  std::vector<uint32_t> mpls = {1, 5, 10, 20, 30};
+  if (FullMode()) mpls = {1, 5, 10, 20, 30, 45, 60};
+
+  std::printf("# Figure 6 (throughput, tps) and Figure 7 (avg response "
+              "time, ms) — MPL scaleup\n");
+  PrintSeriesHeader("mpl", {"nr_tps", "ira_tps", "pqr_tps", "nr_art_ms",
+                            "ira_art_ms", "pqr_art_ms"});
+  for (uint32_t mpl : mpls) {
+    double tput[3], art[3];
+    for (Scenario sc : {Scenario::kNR, Scenario::kIRA, Scenario::kPQR}) {
+      ExperimentConfig cfg;
+      cfg.workload.mpl = mpl;
+      cfg.scenario = sc;
+      ExperimentResult r = RunExperiment(cfg);
+      tput[static_cast<int>(sc)] = r.driver.throughput_tps();
+      art[static_cast<int>(sc)] = r.driver.response_ms.mean();
+    }
+    PrintSeriesRow(mpl, {tput[0], tput[1], tput[2], art[0], art[1], art[2]});
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace brahma
+
+int main() {
+  brahma::bench::Run();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces paper Figures 8 and 9 (Section 5.3.2): throughput and
+// average response time as the number of objects in the reorganized
+// partition grows (all else at Table 1 defaults).
+//
+// Expected shape (paper): NR and IRA throughput stay flat as the
+// partition grows; PQR throughput falls steadily and its response time
+// rises sharply, because it blocks transactions for the (longer) duration
+// of the whole reorganization.
+
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace brahma {
+namespace bench {
+namespace {
+
+void Run() {
+  // Paper sweep: 1020 .. 8160 objects (85-object clusters).
+  std::vector<uint32_t> sizes = {1020, 2040, 4080, 8160};
+  if (FullMode()) sizes = {1020, 2040, 4080, 6120, 8160};
+
+  std::printf("# Figure 8 (throughput, tps) and Figure 9 (avg response "
+              "time, ms) — partition size scaleup\n");
+  PrintSeriesHeader("num_objs", {"nr_tps", "ira_tps", "pqr_tps", "nr_art_ms",
+                                 "ira_art_ms", "pqr_art_ms"});
+  for (uint32_t n : sizes) {
+    double tput[3], art[3];
+    for (Scenario sc : {Scenario::kNR, Scenario::kIRA, Scenario::kPQR}) {
+      ExperimentConfig cfg;
+      cfg.workload.objects_per_partition = n;
+      cfg.scenario = sc;
+      ExperimentResult r = RunExperiment(cfg);
+      tput[static_cast<int>(sc)] = r.driver.throughput_tps();
+      art[static_cast<int>(sc)] = r.driver.response_ms.mean();
+    }
+    PrintSeriesRow(n, {tput[0], tput[1], tput[2], art[0], art[1], art[2]});
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace brahma
+
+int main() {
+  brahma::bench::Run();
+  return 0;
+}

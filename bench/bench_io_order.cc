@@ -1,0 +1,92 @@
+// The paper's Section 7 future work, implemented: in what order should
+// objects migrate so that external parents are fetched (disk) or locked
+// (main memory) as few times as possible? Compares migration orders —
+// ascending address, clustering BFS, and the IoAwarePlanner grouping —
+// under an LRU parent-buffer cost model across buffer sizes and glue
+// factors, and reports external-lock acquisitions for the main-memory
+// case.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "core/io_aware.h"
+
+namespace brahma {
+namespace bench {
+namespace {
+
+void Run() {
+  std::printf("# Section 7 future work — migration order vs. external "
+              "parent fetches\n");
+  std::printf("%-12s %-10s %14s %14s %14s %14s\n", "glue", "buffer",
+              "addr_order", "cluster_bfs", "io_aware", "distinct");
+  for (double glue : {0.05, 0.2, 0.5}) {
+    DatabaseOptions dopt;
+    dopt.num_data_partitions = 11;
+    Database db(dopt);
+    WorkloadParams params;
+    params.glue_factor = glue;
+    BuiltGraph graph;
+    GraphBuilder builder(&db);
+    Status s = builder.Build(params, &graph);
+    if (!s.ok()) std::exit(1);
+    db.analyzer().Sync();
+
+    auto ert = db.erts().For(1).Entries();
+    std::vector<ObjectId> objects;
+    db.store().partition(1).ForEachLiveObject(
+        [&](uint64_t off) { objects.push_back(ObjectId(1, off)); });
+
+    std::vector<ObjectId> addr = objects;
+    std::sort(addr.begin(), addr.end());
+
+    ClusteringPlanner cluster(&db.store(), 11, graph.cluster_roots[0],
+                              /*follow_slots=*/4);
+    std::vector<ObjectId> bfs = objects;
+    cluster.Order(&bfs);
+
+    CopyOutPlanner base(11);
+    IoAwarePlanner io(&base, &db.erts().For(1));
+    std::vector<ObjectId> grouped = objects;
+    io.Order(&grouped);
+
+    for (size_t buf : {4u, 16u, 64u, 1u << 20}) {
+      uint64_t fa = CountExternalParentFetches(addr, ert, buf);
+      uint64_t fb = CountExternalParentFetches(bfs, ert, buf);
+      uint64_t fi = CountExternalParentFetches(grouped, ert, buf);
+      // Distinct parents = the lower bound any order can reach with an
+      // infinite buffer.
+      uint64_t lb = CountExternalParentFetches(grouped, ert, 1u << 20);
+      char bufname[16];
+      if (buf >= (1u << 20)) {
+        std::snprintf(bufname, sizeof(bufname), "inf");
+      } else {
+        std::snprintf(bufname, sizeof(bufname), "%zu", buf);
+      }
+      std::printf("%-12.2f %-10s %14llu %14llu %14llu %14llu\n", glue,
+                  bufname, static_cast<unsigned long long>(fa),
+                  static_cast<unsigned long long>(fb),
+                  static_cast<unsigned long long>(fi),
+                  static_cast<unsigned long long>(lb));
+    }
+    std::printf("%-12.2f %-10s %14llu %14llu %14llu %14s   (main-memory "
+                "lock acquisitions)\n",
+                glue, "locks",
+                static_cast<unsigned long long>(
+                    CountExternalLockAcquisitions(addr, ert)),
+                static_cast<unsigned long long>(
+                    CountExternalLockAcquisitions(bfs, ert)),
+                static_cast<unsigned long long>(
+                    CountExternalLockAcquisitions(grouped, ert)),
+                "-");
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace brahma
+
+int main() {
+  brahma::bench::Run();
+  return 0;
+}

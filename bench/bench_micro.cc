@@ -1,0 +1,121 @@
+// Microbenchmarks (google-benchmark) for the substrate primitives: the
+// extendible hash index backing the ERT/TRT, object latches, lock
+// manager acquire/release, partition allocation, WAL append, and the
+// fuzzy traversal over a paper-scale partition.
+
+#include <benchmark/benchmark.h>
+
+#include "core/database.h"
+#include "core/fuzzy_traversal.h"
+#include "index/extendible_hash.h"
+#include "workload/graph_builder.h"
+
+namespace brahma {
+namespace {
+
+void BM_ExtendibleHashInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    ExtendibleHash<uint64_t, uint64_t> h(16);
+    state.ResumeTiming();
+    for (uint64_t i = 0; i < 10000; ++i) h.Insert(i, i);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_ExtendibleHashInsert)->Unit(benchmark::kMicrosecond);
+
+void BM_ExtendibleHashLookup(benchmark::State& state) {
+  ExtendibleHash<uint64_t, uint64_t> h(16);
+  for (uint64_t i = 0; i < 10000; ++i) h.Insert(i, i);
+  uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.Lookup(k++ % 10000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExtendibleHashLookup);
+
+void BM_SharedLatchAcquireRelease(benchmark::State& state) {
+  SharedLatch latch;
+  for (auto _ : state) {
+    latch.LockShared();
+    latch.UnlockShared();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SharedLatchAcquireRelease)->ThreadRange(1, 8);
+
+void BM_LockManagerAcquireRelease(benchmark::State& state) {
+  static LockManager* lm = new LockManager();
+  ObjectId oid(1, 64 + 8 * state.thread_index());
+  TxnId txn = 1 + state.thread_index();
+  for (auto _ : state) {
+    lm->Acquire(txn, oid, LockMode::kExclusive,
+                std::chrono::milliseconds(100));
+    lm->Release(txn, oid);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockManagerAcquireRelease)->ThreadRange(1, 8);
+
+void BM_PartitionAllocateFree(benchmark::State& state) {
+  Partition part(1, 64 << 20);
+  std::vector<uint64_t> offsets;
+  offsets.reserve(1000);
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      uint64_t off;
+      part.Allocate(5, 64, &off);
+      offsets.push_back(off);
+    }
+    for (uint64_t off : offsets) part.Free(off);
+    offsets.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_PartitionAllocateFree)->Unit(benchmark::kMicrosecond);
+
+void BM_WalAppend(benchmark::State& state) {
+  LogManager log;
+  LogRecord rec;
+  rec.type = LogRecordType::kSetRef;
+  rec.txn = 1;
+  rec.oid = ObjectId(1, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.Append(rec));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WalAppend);
+
+void BM_FuzzyTraversalPartition(benchmark::State& state) {
+  DatabaseOptions dopt;
+  dopt.num_data_partitions = 3;
+  Database db(dopt);
+  WorkloadParams params;
+  params.num_partitions = 2;
+  params.objects_per_partition =
+      static_cast<uint32_t>(state.range(0));
+  BuiltGraph graph;
+  GraphBuilder builder(&db);
+  Status s = builder.Build(params, &graph);
+  if (!s.ok()) {
+    state.SkipWithError(s.ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    FuzzyTraversal t(&db.store(), &db.erts(), &db.trt(), &db.analyzer());
+    TraversalResult r = t.Run(1);
+    benchmark::DoNotOptimize(r.traversed.size());
+  }
+  state.SetItemsProcessed(state.iterations() * params.objects_per_partition);
+}
+BENCHMARK(BM_FuzzyTraversalPartition)
+    ->Arg(1020)
+    ->Arg(4080)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace brahma
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Reproduces the experiments the paper summarizes in Section 5.3.4 and
+// defers to the full version [LRSS99]: sweeps of the glue factor (the
+// fraction of inter-partition references), the transaction path length
+// (OPSPERTRANS), and the number of partitions.
+//
+// Expected shape: IRA stays within a few percent of NR across all three
+// sweeps; PQR stays significantly lower. More glue (more external
+// parents) and longer walks raise contention with PQR's locked parents;
+// more partitions dilute the share of threads homed on the reorganized
+// partition, softening PQR's collapse but never closing the gap.
+
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace brahma {
+namespace bench {
+namespace {
+
+template <typename Setter>
+void Sweep(const char* title, const char* x_name,
+           const std::vector<double>& xs, Setter set) {
+  std::printf("# %s\n", title);
+  PrintSeriesHeader(x_name, {"nr_tps", "ira_tps", "pqr_tps", "nr_art_ms",
+                             "ira_art_ms", "pqr_art_ms"});
+  for (double x : xs) {
+    double tput[3], art[3];
+    for (Scenario sc : {Scenario::kNR, Scenario::kIRA, Scenario::kPQR}) {
+      ExperimentConfig cfg;
+      set(&cfg, x);
+      cfg.scenario = sc;
+      ExperimentResult r = RunExperiment(cfg);
+      tput[static_cast<int>(sc)] = r.driver.throughput_tps();
+      art[static_cast<int>(sc)] = r.driver.response_ms.mean();
+    }
+    PrintSeriesRow(x, {tput[0], tput[1], tput[2], art[0], art[1], art[2]});
+  }
+  std::printf("\n");
+}
+
+void Run() {
+  std::vector<double> glues = {0.01, 0.05, 0.2};
+  std::vector<double> lengths = {4, 8, 16};
+  std::vector<double> partitions = {5, 10};
+  if (FullMode()) {
+    glues = {0.0, 0.01, 0.05, 0.1, 0.2, 0.4};
+    lengths = {2, 4, 8, 16, 32};
+    partitions = {2, 5, 10, 15};
+  }
+
+  Sweep("Glue factor sweep (Section 5.3.4)", "glue_factor", glues,
+        [](ExperimentConfig* cfg, double x) {
+          cfg->workload.glue_factor = x;
+        });
+  Sweep("Transaction path length sweep (Section 5.3.4)", "ops_per_txn",
+        lengths, [](ExperimentConfig* cfg, double x) {
+          cfg->workload.ops_per_txn = static_cast<uint32_t>(x);
+        });
+  Sweep("Number of partitions sweep (Section 5.3.4)", "num_partitions",
+        partitions, [](ExperimentConfig* cfg, double x) {
+          cfg->workload.num_partitions = static_cast<uint32_t>(x);
+          // Keep the MPL-to-partition ratio of the default setup.
+          cfg->workload.mpl = 3 * static_cast<uint32_t>(x);
+        });
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace brahma
+
+int main() {
+  brahma::bench::Run();
+  return 0;
+}

@@ -1,0 +1,162 @@
+#ifndef BRAHMA_BENCH_HARNESS_H_
+#define BRAHMA_BENCH_HARNESS_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/clock.h"
+#include "core/database.h"
+#include "core/ira.h"
+#include "core/pqr.h"
+#include "workload/driver.h"
+#include "workload/graph_builder.h"
+#include "workload/metrics.h"
+
+namespace brahma {
+namespace bench {
+
+// Which reorganization utility (if any) runs during the measurement —
+// paper Section 5: NR (no reorganization), IRA, PQR.
+enum class Scenario { kNR, kIRA, kPQR };
+
+inline const char* ScenarioName(Scenario s) {
+  switch (s) {
+    case Scenario::kNR: return "NR";
+    case Scenario::kIRA: return "IRA";
+    case Scenario::kPQR: return "PQR";
+  }
+  return "?";
+}
+
+struct ExperimentConfig {
+  WorkloadParams workload;                       // Table 1 parameters
+  Scenario scenario = Scenario::kNR;
+  IraOptions ira;                                // used when scenario == kIRA
+  PqrOptions pqr;                                // used when scenario == kPQR
+  PartitionId reorg_partition = 1;
+  // NR has no natural end; it runs for this long (reorg scenarios run
+  // until the reorganization completes, as in the paper).
+  double nr_duration_s = 2.0;
+  // Delay before the reorganization starts (lets the MPL threads warm up).
+  double warmup_s = 0.05;
+  // Commit-time log-force latency (models the disk force that gives the
+  // paper's system CPU/I-O overlap). This is the dominant reason the
+  // paper's IRA barely dents user throughput: each migration transaction
+  // spends most of its life waiting for its commit force, during which
+  // user transactions run. Committers overlap (group-commit style).
+  std::chrono::microseconds flush_latency{800};
+  // Lock-wait timeout for deadlock resolution. The paper used 1 s on a
+  // machine where a transaction averaged ~800 ms at MPL 30 — i.e., the
+  // timeout was proportionate to a transaction. On hardware where the
+  // same transaction takes ~2 ms, 1 s would make every deadlock cost
+  // hundreds of transaction-times and distort all the ratios; we keep
+  // the paper's *proportions* (timeout ≈ 25x a median transaction).
+  // BRAHMA_BENCH_FULL=1 restores the literal 1 s.
+  std::chrono::milliseconds lock_timeout{50};
+};
+
+struct ExperimentResult {
+  DriverResult driver;
+  ReorgStats reorg;
+  Status reorg_status;
+  double reorg_duration_ms = 0;
+};
+
+// True when the full (longer) sweeps were requested.
+inline bool FullMode() {
+  const char* env = std::getenv("BRAHMA_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+// Runs one experiment: build the database and the Section 5.2 object
+// graph, spawn the MPL workload threads, run the configured
+// reorganization concurrently (objects of the reorg partition are copied
+// to a spare destination partition), and measure the workload while the
+// reorganization is in flight.
+inline ExperimentResult RunExperimentExact(const ExperimentConfig& cfg);
+
+inline ExperimentResult RunExperiment(const ExperimentConfig& cfg) {
+  ExperimentConfig adjusted = cfg;
+  if (FullMode()) adjusted.lock_timeout = std::chrono::milliseconds(1000);
+  const ExperimentConfig& c = adjusted;
+  return RunExperimentExact(c);
+}
+
+inline ExperimentResult RunExperimentExact(const ExperimentConfig& cfg) {
+  DatabaseOptions dopt;
+  // One spare partition at the end is the migration destination.
+  dopt.num_data_partitions = cfg.workload.num_partitions + 1;
+  // Size partitions for the largest sweeps (objects are ~130 bytes; x4
+  // slack for migration copies and fragmentation).
+  dopt.partition_capacity =
+      std::max<uint64_t>(8ull << 20, cfg.workload.objects_per_partition *
+                                         512ull);
+  dopt.commit_flush_latency = cfg.flush_latency;
+  dopt.log_truncate_threshold = 500000;
+  dopt.lock_timeout = cfg.lock_timeout;
+  Database db(dopt);
+
+  BuiltGraph graph;
+  GraphBuilder builder(&db);
+  Status s = builder.Build(cfg.workload, &graph);
+  if (!s.ok()) {
+    std::fprintf(stderr, "graph build failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+
+  const PartitionId dst =
+      static_cast<PartitionId>(cfg.workload.num_partitions + 1);
+
+  ExperimentResult result;
+  std::atomic<bool> stop{false};
+  std::thread reorg_thread;
+  if (cfg.scenario == Scenario::kNR) {
+    // Timer thread ends the run.
+    reorg_thread = std::thread([&]() {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<int>(cfg.nr_duration_s * 1e3)));
+      stop.store(true);
+    });
+  } else {
+    reorg_thread = std::thread([&]() {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          static_cast<int>(cfg.warmup_s * 1e3)));
+      CopyOutPlanner planner(dst);
+      Stopwatch sw;
+      if (cfg.scenario == Scenario::kIRA) {
+        IraReorganizer ira(db.reorg_context());
+        IraOptions opt = cfg.ira;
+        opt.lock_timeout = cfg.lock_timeout;
+        result.reorg_status =
+            ira.Run(cfg.reorg_partition, &planner, opt, &result.reorg);
+      } else {
+        PqrReorganizer pqr(db.reorg_context());
+        PqrOptions opt = cfg.pqr;
+        opt.lock_timeout = cfg.lock_timeout;
+        result.reorg_status =
+            pqr.Run(cfg.reorg_partition, &planner, opt, &result.reorg);
+      }
+      result.reorg_duration_ms = sw.ElapsedMillis();
+      stop.store(true);
+    });
+  }
+
+  WorkloadDriver driver(&db, cfg.workload, graph);
+  result.driver = driver.Run([&stop]() { return stop.load(); }, 0);
+  reorg_thread.join();
+  if (cfg.scenario != Scenario::kNR && !result.reorg_status.ok()) {
+    std::fprintf(stderr, "reorg failed: %s\n",
+                 result.reorg_status.ToString().c_str());
+  }
+  return result;
+}
+
+}  // namespace bench
+}  // namespace brahma
+
+#endif  // BRAHMA_BENCH_HARNESS_H_

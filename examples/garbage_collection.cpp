@@ -1,0 +1,96 @@
+// Copying garbage collection with physical references (paper Section
+// 4.6): IRA detects every live object of a partition during its fuzzy
+// traversal, so migrating the live set out of the partition and sweeping
+// what remains *is* a partitioned copying collector — including garbage
+// cycles, which reference counting cannot reclaim — all while references
+// stay physical and transactions keep running.
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "common/random.h"
+#include "core/database.h"
+#include "core/ira.h"
+#include "workload/driver.h"
+#include "workload/graph_builder.h"
+
+using namespace brahma;
+
+int main() {
+  DatabaseOptions options;
+  options.num_data_partitions = 4;
+  Database db(options);
+
+  WorkloadParams params;
+  params.num_partitions = 3;
+  params.objects_per_partition = 85 * 8;
+  params.mpl = 6;
+  BuiltGraph graph;
+  GraphBuilder builder(&db);
+  if (!builder.Build(params, &graph).ok()) return 1;
+
+  // Litter partition 1 with unreachable structures: chains and cycles
+  // that no live object references.
+  uint64_t garbage_created = 0;
+  {
+    std::unique_ptr<Transaction> txn = db.Begin();
+    Random rng(5);
+    for (int g = 0; g < 30; ++g) {
+      std::vector<ObjectId> blob;
+      for (int i = 0; i < 5; ++i) {
+        ObjectId oid;
+        if (!txn->CreateObject(1, 2, 24, &oid).ok()) break;
+        blob.push_back(oid);
+        ++garbage_created;
+      }
+      for (size_t i = 0; i + 1 < blob.size(); ++i) {
+        txn->SetRef(blob[i], 0, blob[i + 1]);
+      }
+      if (!blob.empty() && rng.Bernoulli(0.5)) {
+        txn->SetRef(blob.back(), 0, blob.front());  // make it a cycle
+      }
+    }
+    txn->Commit();
+  }
+  std::printf("created %llu unreachable (garbage) objects in partition 1\n",
+              static_cast<unsigned long long>(garbage_created));
+  std::printf("partition 1 holds %llu objects, of which %u are live\n",
+              static_cast<unsigned long long>(
+                  garbage_created + params.objects_per_partition),
+              params.objects_per_partition);
+
+  // Evacuate the live set into partition 4 and reclaim the garbage, with
+  // the workload running throughout.
+  std::atomic<bool> done{false};
+  ReorgStats stats;
+  Status st;
+  std::thread reorg([&]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    CopyOutPlanner planner(4);
+    IraOptions opt;
+    opt.collect_garbage = true;
+    st = db.RunIra(1, &planner, opt, &stats);
+    done.store(true);
+  });
+  WorkloadDriver driver(&db, params, graph);
+  DriverResult run = driver.Run([&]() { return done.load(); }, 0);
+  reorg.join();
+  if (!st.ok()) {
+    std::printf("reorg failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("copying collection finished in %.1f ms:\n", stats.duration_ms);
+  std::printf("  live objects migrated : %llu\n",
+              static_cast<unsigned long long>(stats.objects_migrated));
+  std::printf("  garbage reclaimed     : %llu\n",
+              static_cast<unsigned long long>(stats.garbage_collected));
+  FragmentationStats fs = db.store().partition(1).GetFragmentationStats();
+  std::printf("  partition 1 after     : %llu live bytes (fully reclaimed)\n",
+              static_cast<unsigned long long>(fs.live_bytes));
+  std::printf("  concurrent workload   : %llu commits, avg %.2f ms\n",
+              static_cast<unsigned long long>(run.committed),
+              run.response_ms.mean());
+  return 0;
+}

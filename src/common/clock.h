@@ -1,0 +1,38 @@
+#ifndef BRAHMA_COMMON_CLOCK_H_
+#define BRAHMA_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace brahma {
+
+// Monotonic wall-clock helpers. All experiment times in the paper are
+// wall-clock elapsed times (Section 5.3); we use a steady clock.
+inline int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline double MicrosToMillis(int64_t us) {
+  return static_cast<double>(us) / 1000.0;
+}
+
+// Simple stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_us_(NowMicros()) {}
+  void Reset() { start_us_ = NowMicros(); }
+  int64_t ElapsedMicros() const { return NowMicros() - start_us_; }
+  double ElapsedMillis() const { return MicrosToMillis(ElapsedMicros()); }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  int64_t start_us_;
+};
+
+}  // namespace brahma
+
+#endif  // BRAHMA_COMMON_CLOCK_H_

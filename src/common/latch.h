@@ -1,0 +1,97 @@
+#ifndef BRAHMA_COMMON_LATCH_H_
+#define BRAHMA_COMMON_LATCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace brahma {
+
+// Short-duration spin latch guaranteeing physical consistency of the
+// protected structure. Latches (unlike locks) are never held across
+// blocking operations, are not subject to deadlock detection, and are
+// released as soon as the reader/writer is done (paper Section 3.4).
+//
+// Reader/writer semantics: the word holds kWriter when write-latched,
+// otherwise the number of concurrent readers.
+class SharedLatch {
+ public:
+  SharedLatch() : word_(0) {}
+
+  SharedLatch(const SharedLatch&) = delete;
+  SharedLatch& operator=(const SharedLatch&) = delete;
+
+  void LockShared() {
+    int spins = 0;
+    for (;;) {
+      uint32_t cur = word_.load(std::memory_order_relaxed);
+      if (cur != kWriter &&
+          word_.compare_exchange_weak(cur, cur + 1,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+      Backoff(&spins);
+    }
+  }
+
+  void UnlockShared() { word_.fetch_sub(1, std::memory_order_release); }
+
+  void LockExclusive() {
+    int spins = 0;
+    for (;;) {
+      uint32_t expected = 0;
+      if (word_.compare_exchange_weak(expected, kWriter,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+      Backoff(&spins);
+    }
+  }
+
+  void UnlockExclusive() { word_.store(0, std::memory_order_release); }
+
+ private:
+  static constexpr uint32_t kWriter = 0xFFFFFFFFu;
+
+  static void Backoff(int* spins) {
+    if (++*spins > 64) {
+      std::this_thread::yield();
+      *spins = 0;
+    }
+  }
+
+  std::atomic<uint32_t> word_;
+};
+
+// RAII guards.
+class SharedLatchGuard {
+ public:
+  explicit SharedLatchGuard(SharedLatch* latch) : latch_(latch) {
+    latch_->LockShared();
+  }
+  ~SharedLatchGuard() { latch_->UnlockShared(); }
+  SharedLatchGuard(const SharedLatchGuard&) = delete;
+  SharedLatchGuard& operator=(const SharedLatchGuard&) = delete;
+
+ private:
+  SharedLatch* latch_;
+};
+
+class ExclusiveLatchGuard {
+ public:
+  explicit ExclusiveLatchGuard(SharedLatch* latch) : latch_(latch) {
+    latch_->LockExclusive();
+  }
+  ~ExclusiveLatchGuard() { latch_->UnlockExclusive(); }
+  ExclusiveLatchGuard(const ExclusiveLatchGuard&) = delete;
+  ExclusiveLatchGuard& operator=(const ExclusiveLatchGuard&) = delete;
+
+ private:
+  SharedLatch* latch_;
+};
+
+}  // namespace brahma
+
+#endif  // BRAHMA_COMMON_LATCH_H_

@@ -1,0 +1,56 @@
+#ifndef BRAHMA_COMMON_RANDOM_H_
+#define BRAHMA_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace brahma {
+
+// Deterministic, cheap PRNG (SplitMix64 seeded xoshiro256**). Used for
+// workload generation so experiments are reproducible given a seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed + uint64_t{0x9E3779B97F4A7C15};
+    for (int i = 0; i < 4; ++i) {
+      uint64_t z = (x += uint64_t{0x9E3779B97F4A7C15});
+      z = (z ^ (z >> 30)) * uint64_t{0xBF58476D1CE4E5B9};
+      z = (z ^ (z >> 27)) * uint64_t{0x94D049BB133111EB};
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace brahma
+
+#endif  // BRAHMA_COMMON_RANDOM_H_

@@ -1,0 +1,76 @@
+#ifndef BRAHMA_COMMON_STATS_H_
+#define BRAHMA_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace brahma {
+
+// Streaming summary of a sample (Welford's algorithm) plus retained raw
+// values for percentiles/max. Used for response-time analysis (paper
+// Table 2 reports avg, max, and standard deviation of response times).
+class SampleStats {
+ public:
+  void Add(double x) {
+    values_.push_back(x);
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  void Merge(const SampleStats& other) {
+    for (double v : other.values_) Add(v);
+  }
+
+  int64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double max() const {
+    if (values_.empty()) return 0.0;
+    return *std::max_element(values_.begin(), values_.end());
+  }
+  double min() const {
+    if (values_.empty()) return 0.0;
+    return *std::min_element(values_.begin(), values_.end());
+  }
+
+  // q in [0, 1]. Returns the q-th percentile of the sample.
+  double Percentile(double q) const {
+    if (values_.empty()) return 0.0;
+    std::vector<double> sorted = values_;
+    std::sort(sorted.begin(), sorted.end());
+    double idx = q * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(idx);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = idx - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+  // Mean of the k largest samples (the paper notes the trend holds for
+  // "the average of the top 10 response times").
+  double MeanOfTop(size_t k) const {
+    if (values_.empty()) return 0.0;
+    std::vector<double> sorted = values_;
+    std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+    k = std::min(k, sorted.size());
+    double sum = 0;
+    for (size_t i = 0; i < k; ++i) sum += sorted[i];
+    return sum / static_cast<double>(k);
+  }
+
+ private:
+  std::vector<double> values_;
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace brahma
+
+#endif  // BRAHMA_COMMON_STATS_H_

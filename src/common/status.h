@@ -1,0 +1,90 @@
+#ifndef BRAHMA_COMMON_STATUS_H_
+#define BRAHMA_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace brahma {
+
+// Error-code-based status type (RocksDB/LevelDB idiom; the codebase does
+// not use exceptions). A Status is either OK or carries a code and a
+// human-readable message.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kCorruption,
+    kInvalidArgument,
+    kTimedOut,      // lock wait timed out (deadlock resolution, Section 5)
+    kAborted,       // transaction aborted
+    kBusy,          // resource (e.g., upgrade conflict) busy
+    kNoSpace,       // partition arena exhausted
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status TimedOut(std::string msg = "") {
+    return Status(Code::kTimedOut, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status NoSpace(std::string msg = "") {
+    return Status(Code::kNoSpace, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsNoSpace() const { return code_ == Code::kNoSpace; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "unknown";
+    switch (code_) {
+      case Code::kOk: name = "OK"; break;
+      case Code::kNotFound: name = "NotFound"; break;
+      case Code::kCorruption: name = "Corruption"; break;
+      case Code::kInvalidArgument: name = "InvalidArgument"; break;
+      case Code::kTimedOut: name = "TimedOut"; break;
+      case Code::kAborted: name = "Aborted"; break;
+      case Code::kBusy: name = "Busy"; break;
+      case Code::kNoSpace: name = "NoSpace"; break;
+      case Code::kInternal: name = "Internal"; break;
+    }
+    return msg_.empty() ? std::string(name) : std::string(name) + ": " + msg_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+}  // namespace brahma
+
+#endif  // BRAHMA_COMMON_STATUS_H_

@@ -1,0 +1,87 @@
+#include "core/advisor.h"
+
+#include "core/fuzzy_traversal.h"
+
+namespace brahma {
+
+std::optional<PartitionAdvice> ReorgAdvisor::SuggestCompaction(
+    double min_ratio, uint64_t min_free_bytes) const {
+  std::optional<PartitionAdvice> best;
+  // Partition 0 is the root partition; maintenance sticks to data
+  // partitions.
+  for (uint32_t p = 1; p < ctx_.store->num_partitions(); ++p) {
+    FragmentationStats fs =
+        ctx_.store->partition(static_cast<PartitionId>(p))
+            .GetFragmentationStats();
+    double ratio = fs.FragmentationRatio();
+    if (ratio < min_ratio || fs.free_bytes < min_free_bytes) continue;
+    if (!best.has_value() || ratio > best->score) {
+      best = PartitionAdvice{static_cast<PartitionId>(p),
+                             PartitionAdvice::Reason::kFragmentation, ratio};
+    }
+  }
+  return best;
+}
+
+double ReorgAdvisor::EstimateGarbageFraction(PartitionId p) const {
+  uint64_t allocated = 0;
+  ctx_.store->partition(p).ForEachLiveObject([&](uint64_t) { ++allocated; });
+  if (allocated == 0) return 0.0;
+  FuzzyTraversal traversal(ctx_.store, ctx_.erts, ctx_.trt, ctx_.analyzer);
+  TraversalResult tr = traversal.Run(p);
+  uint64_t live = tr.traversed.size();
+  if (live >= allocated) return 0.0;
+  return static_cast<double>(allocated - live) /
+         static_cast<double>(allocated);
+}
+
+std::optional<PartitionAdvice> ReorgAdvisor::SuggestCollection(
+    double min_fraction) const {
+  std::optional<PartitionAdvice> best;
+  for (uint32_t p = 1; p < ctx_.store->num_partitions(); ++p) {
+    double frac = EstimateGarbageFraction(static_cast<PartitionId>(p));
+    if (frac < min_fraction) continue;
+    if (!best.has_value() || frac > best->score) {
+      best = PartitionAdvice{static_cast<PartitionId>(p),
+                             PartitionAdvice::Reason::kGarbage, frac};
+    }
+  }
+  return best;
+}
+
+void ReorgDaemon::Start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this]() { ThreadMain(); });
+}
+
+void ReorgDaemon::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void ReorgDaemon::ThreadMain() {
+  while (running_.load(std::memory_order_acquire)) {
+    std::optional<PartitionAdvice> advice = advisor_.SuggestCompaction(
+        options_.min_fragmentation, options_.min_free_bytes);
+    if (!advice.has_value()) {
+      std::this_thread::sleep_for(options_.poll_interval);
+      continue;
+    }
+    CompactionPlanner planner;
+    IraOptions opt = options_.ira;
+    opt.collect_garbage = options_.collect_garbage;
+    ReorgStats stats;
+    IraReorganizer ira(ctx_);
+    Status s = ira.Run(advice->partition, &planner, opt, &stats);
+    if (s.ok()) {
+      reorgs_run_.fetch_add(1);
+      objects_migrated_.fetch_add(stats.objects_migrated);
+      garbage_collected_.fetch_add(stats.garbage_collected);
+    } else {
+      // Back off; the workload may be too hot right now.
+      std::this_thread::sleep_for(options_.poll_interval);
+    }
+  }
+}
+
+}  // namespace brahma

@@ -1,0 +1,92 @@
+#ifndef BRAHMA_CORE_ADVISOR_H_
+#define BRAHMA_CORE_ADVISOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "core/ira.h"
+
+namespace brahma {
+
+// The paper scopes out "when to reorganize [and] which partition to
+// reorganize ... the driving operation makes these decisions" (Section 2,
+// citing [CWZ94] for partition selection policies). This module is that
+// driving layer: policies that watch fragmentation / garbage and a
+// background daemon that runs IRA when a policy fires — the "on-line
+// utility for periodic and routine maintenance" of the paper's
+// introduction.
+
+struct PartitionAdvice {
+  PartitionId partition = 0;
+  enum class Reason { kFragmentation, kGarbage } reason =
+      Reason::kFragmentation;
+  double score = 0;  // policy-specific: frag ratio, or garbage fraction
+};
+
+class ReorgAdvisor {
+ public:
+  explicit ReorgAdvisor(ReorgContext ctx) : ctx_(ctx) {}
+
+  // Data partition with the worst fragmentation, if any partition has a
+  // fragmentation ratio >= min_ratio and at least min_free_bytes of
+  // reclaimable holes.
+  std::optional<PartitionAdvice> SuggestCompaction(
+      double min_ratio, uint64_t min_free_bytes) const;
+
+  // Estimated garbage fraction of a partition: allocated objects not
+  // reached by a (read-only, latch-only) fuzzy traversal from the ERT.
+  // Exact on a quiescent partition; an estimate under load.
+  double EstimateGarbageFraction(PartitionId p) const;
+
+  // Data partition whose estimated garbage fraction is >= min_fraction
+  // (the copying-collector trigger), if any.
+  std::optional<PartitionAdvice> SuggestCollection(double min_fraction) const;
+
+ private:
+  ReorgContext ctx_;
+};
+
+// Background maintenance daemon: polls the advisor and compacts (and
+// optionally collects garbage in) the worst partition with IRA.
+class ReorgDaemon {
+ public:
+  struct Options {
+    std::chrono::milliseconds poll_interval{100};
+    double min_fragmentation = 0.3;
+    uint64_t min_free_bytes = 4096;
+    bool collect_garbage = true;
+    IraOptions ira;
+  };
+
+  ReorgDaemon(ReorgContext ctx, Options options)
+      : ctx_(ctx), options_(options), advisor_(ctx) {}
+  ~ReorgDaemon() { Stop(); }
+
+  ReorgDaemon(const ReorgDaemon&) = delete;
+  ReorgDaemon& operator=(const ReorgDaemon&) = delete;
+
+  void Start();
+  void Stop();
+
+  uint64_t reorgs_run() const { return reorgs_run_.load(); }
+  uint64_t objects_migrated() const { return objects_migrated_.load(); }
+  uint64_t garbage_collected() const { return garbage_collected_.load(); }
+
+ private:
+  void ThreadMain();
+
+  ReorgContext ctx_;
+  Options options_;
+  ReorgAdvisor advisor_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> reorgs_run_{0};
+  std::atomic<uint64_t> objects_migrated_{0};
+  std::atomic<uint64_t> garbage_collected_{0};
+};
+
+}  // namespace brahma
+
+#endif  // BRAHMA_CORE_ADVISOR_H_

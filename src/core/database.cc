@@ -1,0 +1,95 @@
+#include "core/database.h"
+
+#include <algorithm>
+
+namespace brahma {
+
+Database::Database(const DatabaseOptions& options) : options_(options) {
+  store_ = std::make_unique<ObjectStore>(options.num_data_partitions,
+                                         options.partition_capacity);
+  log_ = std::make_unique<LogManager>(options.commit_flush_latency);
+  locks_ = std::make_unique<LockManager>();
+  locks_->set_history_enabled(options.enable_lock_history);
+  erts_ = std::make_unique<ErtSet>(store_->num_partitions());
+  trt_ = std::make_unique<Trt>();
+  analyzer_ = std::make_unique<LogAnalyzer>(log_.get(), erts_.get(),
+                                            trt_.get());
+
+  TxnContext ctx;
+  ctx.store = store_.get();
+  ctx.log = log_.get();
+  ctx.locks = locks_.get();
+  ctx.checkpoint_latch = &checkpoint_latch_;
+  ctx.lock_timeout = options.lock_timeout;
+  ctx.strict_2pl = options.strict_2pl;
+  txns_ = std::make_unique<TransactionManager>(ctx);
+  txns_->SetCompletionHook([this](TxnId txn, bool committed) {
+    trt_->OnTxnComplete(txn, committed);
+    MaybeTruncateLog();
+  });
+
+  analyzer_->Start(options.analyzer_mode);
+}
+
+Database::~Database() { analyzer_->Stop(); }
+
+void Database::MaybeTruncateLog() {
+  if (options_.log_truncate_threshold == 0) return;
+  // Cheap gate: only one completer at a time bothers, and only when the
+  // retained log is past the threshold.
+  if (truncating_.exchange(true)) return;
+  if (log_->NumRecords() > options_.log_truncate_threshold) {
+    // Keep everything an active transaction may still undo and everything
+    // the analyzer has not yet digested.
+    Lsn safe = log_->last_lsn() + 1;
+    Lsn oldest_active = txns_->MinActiveFirstLsn();
+    if (oldest_active != kInvalidLsn) safe = std::min(safe, oldest_active);
+    safe = std::min(safe, analyzer_->processed_lsn() + 1);
+    // Only stable history is droppable.
+    safe = std::min(safe, log_->stable_lsn() + 1);
+    log_->Truncate(safe);
+  }
+  truncating_.store(false);
+}
+
+void Database::Checkpoint() {
+  CheckpointImage img;
+  {
+    // Exclusive against every (append, apply) pair: the image is exactly
+    // the state after all records with lsn <= img.lsn.
+    ExclusiveLatchGuard g(&checkpoint_latch_);
+    for (uint32_t p = 0; p < store_->num_partitions(); ++p) {
+      img.images.push_back(
+          store_->partition(static_cast<PartitionId>(p)).Snapshot());
+    }
+    img.lsn = log_->last_lsn();
+    img.persistent_root = store_->persistent_root();
+    img.valid = true;
+    LogRecord rec;
+    rec.type = LogRecordType::kCheckpoint;
+    rec.checkpoint_lsn = img.lsn;
+    log_->Append(std::move(rec));
+  }
+  log_->Flush(log_->last_lsn());
+  checkpoint_ = std::move(img);
+}
+
+void Database::SimulateCrash() {
+  analyzer_->Stop();
+  log_->DiscardUnflushed();
+  locks_->ClearAllState();
+  txns_->Reset();
+  trt_->Disable();
+}
+
+Status Database::Recover() {
+  Status s = RunRestartRecovery(store_.get(), log_.get(),
+                                checkpoint_.valid ? &checkpoint_ : nullptr);
+  if (!s.ok()) return s;
+  RebuildErts(store_.get(), erts_.get());
+  analyzer_->SkipToEnd();
+  analyzer_->Start(options_.analyzer_mode);
+  return Status::Ok();
+}
+
+}  // namespace brahma

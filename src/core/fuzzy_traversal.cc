@@ -1,0 +1,95 @@
+#include "core/fuzzy_traversal.h"
+
+namespace brahma {
+
+bool ReadRefsLatched(ObjectStore* store, ObjectId oid,
+                     std::vector<ObjectId>* out) {
+  ObjectHeader* h = store->Get(oid);
+  if (h == nullptr) return false;
+  out->clear();
+  SharedLatchGuard g(&h->latch);
+  // Re-check identity under the latch (the object may have been freed
+  // between Get and the latch acquisition).
+  if (!h->IsLive() || h->self != oid.raw()) return false;
+  for (uint32_t i = 0; i < h->num_refs; ++i) {
+    ObjectId r = h->refs()[i];
+    if (r.valid()) out->push_back(r);
+  }
+  return true;
+}
+
+bool ReadRefSlotsLatched(ObjectStore* store, ObjectId oid,
+                         std::vector<ObjectId>* out) {
+  ObjectHeader* h = store->Get(oid);
+  if (h == nullptr) return false;
+  out->clear();
+  SharedLatchGuard g(&h->latch);
+  if (!h->IsLive() || h->self != oid.raw()) return false;
+  out->assign(h->refs(), h->refs() + h->num_refs);
+  return true;
+}
+
+TraversalResult FuzzyTraversal::Run(PartitionId p) {
+  TraversalResult result;
+  analyzer_->Sync();
+
+  // L1: traverse from the ERT's referenced objects; attach their external
+  // parents from the ERT.
+  std::vector<ObjectId> seeds = erts_->For(p).ReferencedObjects();
+  for (ObjectId seed : seeds) {
+    for (ObjectId parent : erts_->For(p).ParentsOf(seed)) {
+      result.parents.AddParent(seed, parent);
+    }
+  }
+  TraverseFrom(p, seeds, &result);
+
+  TopUp(p, &result);
+  return result;
+}
+
+// L2: while some TRT-referenced object has not been traversed, traverse
+// from it. Each pass syncs the analyzer so nothing already logged can
+// be missed; the loop reaches a fixpoint because traversed only grows.
+void FuzzyTraversal::TopUp(PartitionId p, TraversalResult* result) {
+  for (;;) {
+    analyzer_->Sync();
+    std::vector<ObjectId> missing;
+    for (ObjectId oid : trt_->ReferencedObjects()) {
+      if (oid.partition() == p && result->traversed.count(oid) == 0 &&
+          store_->Validate(oid)) {
+        missing.push_back(oid);
+      }
+    }
+    if (missing.empty()) break;
+    ++result->trt_restarts;
+    TraverseFrom(p, missing, result);
+  }
+}
+
+void FuzzyTraversal::TraverseFrom(PartitionId p,
+                                  const std::vector<ObjectId>& seeds,
+                                  TraversalResult* result) {
+  std::vector<ObjectId> stack;
+  for (ObjectId s : seeds) {
+    if (s.partition() == p && result->traversed.insert(s).second) {
+      stack.push_back(s);
+    }
+  }
+  std::vector<ObjectId> refs;
+  while (!stack.empty()) {
+    ObjectId cur = stack.back();
+    stack.pop_back();
+    if (!ReadRefsLatched(store_, cur, &refs)) continue;
+    ++result->objects_visited;
+    for (ObjectId child : refs) {
+      ++result->edges_followed;
+      if (child.partition() != p) continue;  // restrict to the partition
+      result->parents.AddParent(child, cur);
+      if (result->traversed.insert(child).second) {
+        stack.push_back(child);
+      }
+    }
+  }
+}
+
+}  // namespace brahma

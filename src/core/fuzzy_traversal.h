@@ -1,0 +1,70 @@
+#ifndef BRAHMA_CORE_FUZZY_TRAVERSAL_H_
+#define BRAHMA_CORE_FUZZY_TRAVERSAL_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/ert.h"
+#include "core/log_analyzer.h"
+#include "core/parent_lists.h"
+#include "core/trt.h"
+#include "storage/object_store.h"
+
+namespace brahma {
+
+struct TraversalResult {
+  std::unordered_set<ObjectId> traversed;
+  ParentLists parents;  // approximate parent lists
+  uint64_t objects_visited = 0;
+  uint64_t edges_followed = 0;
+  uint64_t trt_restarts = 0;  // extra traversals forced by TRT (loop L2)
+};
+
+// Copies the valid outgoing references of oid under the object's shared
+// latch (no lock) — the primitive of the fuzzy traversal. Returns false
+// if oid is not live.
+bool ReadRefsLatched(ObjectStore* store, ObjectId oid,
+                     std::vector<ObjectId>* out);
+
+// Like ReadRefsLatched but preserves slot positions (invalid slots appear
+// as invalid ids). Used where slot semantics matter (e.g., cluster
+// ordering that follows only specific slots).
+bool ReadRefSlotsLatched(ObjectStore* store, ObjectId oid,
+                         std::vector<ObjectId>* out);
+
+// Find_Objects_And_Approx_Parents (paper Figure 3): a fuzzy traversal of
+// partition p starting from the ERT's referenced objects, repeated from
+// every TRT-referenced object not yet traversed until a fixpoint — this
+// guarantees no live object of the partition is missed (Lemma 3.1), even
+// if its only reference was cut (and perhaps reinserted) mid-traversal.
+//
+// Only latches are acquired; the result is approximate and is made exact
+// per object by Find_Exact_Parents.
+class FuzzyTraversal {
+ public:
+  FuzzyTraversal(ObjectStore* store, ErtSet* erts, Trt* trt,
+                 LogAnalyzer* analyzer)
+      : store_(store), erts_(erts), trt_(trt), analyzer_(analyzer) {}
+
+  TraversalResult Run(PartitionId p);
+
+  // Only the L2 fixpoint: extend an existing (e.g., checkpointed)
+  // traversal from TRT-referenced objects it has not covered. Used when
+  // resuming after a failure (Section 4.4: the checkpoint reduces the
+  // work of Find_Objects_And_Approx_Parents by not re-traversing parts of
+  // the graph already traversed).
+  void TopUp(PartitionId p, TraversalResult* result);
+
+ private:
+  void TraverseFrom(PartitionId p, const std::vector<ObjectId>& seeds,
+                    TraversalResult* result);
+
+  ObjectStore* store_;
+  ErtSet* erts_;
+  Trt* trt_;
+  LogAnalyzer* analyzer_;
+};
+
+}  // namespace brahma
+
+#endif  // BRAHMA_CORE_FUZZY_TRAVERSAL_H_

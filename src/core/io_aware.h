@@ -1,0 +1,65 @@
+#ifndef BRAHMA_CORE_IO_AWARE_H_
+#define BRAHMA_CORE_IO_AWARE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/ert.h"
+#include "core/relocation.h"
+
+namespace brahma {
+
+// The paper's future work (Section 7): "An object external to the
+// partition being reorganized may have to be fetched multiple times as it
+// may be the parent of multiple objects in the partition. A natural
+// question that arises is in what order do we migrate objects so that the
+// number of I/O's required is minimized. In a main memory database, the
+// same order could be relevant since it may minimize the number of times
+// locks have to be obtained on an external object."
+//
+// This module implements that ordering question: a cost model (LRU buffer
+// of external parents; one fetch per miss) and a planner that orders
+// migrations so objects sharing external parents migrate back-to-back.
+
+// Simulated fetch cost of migrating `order` with a buffer holding
+// `buffer_capacity` external parent objects (LRU): each migration touches
+// the external parents recorded for it; a touch of a non-resident parent
+// costs one fetch. buffer_capacity == 0 means every touch is a fetch.
+// With an infinite buffer the cost is the number of distinct parents.
+uint64_t CountExternalParentFetches(
+    const std::vector<ObjectId>& order,
+    const std::vector<std::pair<ObjectId, ObjectId>>& ert_entries,
+    size_t buffer_capacity);
+
+// Number of lock acquisitions on external parents when consecutive
+// migrations sharing a parent batch into one acquisition (the
+// main-memory analogue the paper mentions).
+uint64_t CountExternalLockAcquisitions(
+    const std::vector<ObjectId>& order,
+    const std::vector<std::pair<ObjectId, ObjectId>>& ert_entries);
+
+// Orders migrations by external parent: parents are processed in
+// descending fan-in, and each parent's children migrate consecutively;
+// objects without external parents follow in address order. Target (and
+// Transform) delegate to the base planner.
+class IoAwarePlanner : public RelocationPlanner {
+ public:
+  IoAwarePlanner(RelocationPlanner* base, const Ert* ert)
+      : base_(base), ert_(ert) {}
+
+  PartitionId Target(ObjectId oid) override { return base_->Target(oid); }
+  void Transform(ObjectId oid, std::vector<ObjectId>* refs,
+                 std::vector<uint8_t>* data) override {
+    base_->Transform(oid, refs, data);
+  }
+  void Order(std::vector<ObjectId>* objects) override;
+
+ private:
+  RelocationPlanner* base_;
+  const Ert* ert_;
+};
+
+}  // namespace brahma
+
+#endif  // BRAHMA_CORE_IO_AWARE_H_

@@ -1,0 +1,520 @@
+#include "core/ira.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/clock.h"
+#include "core/fuzzy_traversal.h"
+
+namespace brahma {
+
+namespace {
+
+// Follows the relocation map until the id names a live object (a TRT
+// tuple recorded before its parent migrated may carry the stale parent).
+ObjectId ResolveRelocated(const ObjectStore& store, const ReorgStats& stats,
+                          ObjectId id) {
+  while (!store.Validate(id)) {
+    auto it = stats.relocation.find(id);
+    if (it == stats.relocation.end()) break;
+    id = it->second;
+  }
+  return id;
+}
+
+}  // namespace
+
+Status IraReorganizer::Run(PartitionId p, RelocationPlanner* planner,
+                           const IraOptions& options, ReorgStats* stats) {
+  if (options.wait_for_historical_lockers && !ctx_.locks->history_enabled()) {
+    return Status::InvalidArgument(
+        "wait_for_historical_lockers requires lock history");
+  }
+  Stopwatch sw;
+
+  // Start collecting pointer inserts/deletes for the partition. Sync
+  // first so pre-reorganization history (already reflected in the graph
+  // and the ERTs) does not leak into the TRT. Delete tuples may be purged
+  // on transaction completion only under strict 2PL (Section 4.5).
+  const bool strict = ctx_.txns->ctx().strict_2pl;
+  ctx_.analyzer->Sync();
+  ctx_.trt->Enable(p, strict && !options.disable_trt_purge);
+
+  // Quiesce barrier: wait for all transactions active at the time the
+  // reorganization started, so all relevant updates are in the TRT
+  // (Section 4.5).
+  ctx_.txns->WaitForAll(ctx_.txns->ActiveTxns());
+
+  // Step 1: Find_Objects_And_Approx_Parents.
+  FuzzyTraversal traversal(ctx_.store, ctx_.erts, ctx_.trt, ctx_.analyzer);
+  TraversalResult tr = traversal.Run(p);
+  stats->traversal_visited = tr.objects_visited;
+
+  ParentLists plists = std::move(tr.parents);
+  std::vector<ObjectId> objects(tr.traversed.begin(), tr.traversed.end());
+  planner->Order(&objects);
+
+  // Step 2: for each object, find and lock the exact parents, then move.
+  std::unordered_set<ObjectId> migrated;
+  group_txn_.reset();
+  in_group_ = 0;
+  reverse_relocation_.clear();
+  Status result = MigrateAllAndFinish(p, planner, options, tr.traversed,
+                                      std::move(objects), &migrated, &plists,
+                                      stats);
+  stats->duration_ms = sw.ElapsedMillis();
+  return result;
+}
+
+Status IraReorganizer::Resume(const ReorgCheckpoint& checkpoint,
+                              RelocationPlanner* planner,
+                              const IraOptions& options, ReorgStats* stats) {
+  if (!checkpoint.valid) {
+    return Status::InvalidArgument("invalid reorg checkpoint");
+  }
+  if (options.wait_for_historical_lockers && !ctx_.locks->history_enabled()) {
+    return Status::InvalidArgument(
+        "wait_for_historical_lockers requires lock history");
+  }
+  Stopwatch sw;
+  const PartitionId p = checkpoint.partition;
+  const bool strict = ctx_.txns->ctx().strict_2pl;
+
+  // Reconstruct the TRT from the log generated since the checkpoint
+  // (Section 4.4), then let the live analyzer keep noting new updates.
+  // (Records between restart and this call may be noted twice — extra
+  // tuples only cost drain work.)
+  ctx_.trt->Enable(p, strict && !options.disable_trt_purge);
+  ReconstructTrt(ctx_.log, checkpoint.lsn, ctx_.trt);
+  ctx_.analyzer->Sync();
+  ctx_.txns->WaitForAll(ctx_.txns->ActiveTxns());
+
+  // Restore the checkpointed traversal state.
+  TraversalResult tr;
+  tr.traversed = checkpoint.traversed;
+  tr.parents = ParentLists::FromFlat(checkpoint.parents);
+  std::unordered_set<ObjectId> migrated;
+  reverse_relocation_.clear();
+  for (const auto& [old_id, new_id] : checkpoint.relocation) {
+    migrated.insert(old_id);
+    stats->relocation[old_id] = new_id;
+    reverse_relocation_[new_id] = old_id;
+  }
+  // Patch for migrations that committed after the checkpoint: their old
+  // identities are dead; parents recorded under them now live in the new
+  // copies.
+  for (const auto& [old_id, new_id] :
+       PostCheckpointRelocations(ctx_.log, checkpoint.lsn)) {
+    if (migrated.count(old_id) > 0) continue;
+    migrated.insert(old_id);
+    stats->relocation[old_id] = new_id;
+    reverse_relocation_[new_id] = old_id;
+    tr.parents.ReplaceParentEverywhere(old_id, new_id);
+    tr.parents.Erase(old_id);
+  }
+
+  // Top up the traversal from TRT-referenced objects only — the
+  // checkpoint spares us the full partition traversal.
+  FuzzyTraversal traversal(ctx_.store, ctx_.erts, ctx_.trt, ctx_.analyzer);
+  traversal.TopUp(p, &tr);
+  stats->traversal_visited = tr.traversed.size();
+
+  std::vector<ObjectId> objects;
+  objects.reserve(tr.traversed.size());
+  for (ObjectId oid : tr.traversed) {
+    if (migrated.count(oid) == 0) objects.push_back(oid);
+  }
+  planner->Order(&objects);
+  group_txn_.reset();
+  in_group_ = 0;
+  Status result = MigrateAllAndFinish(p, planner, options, tr.traversed,
+                                      std::move(objects), &migrated,
+                                      &tr.parents, stats);
+  stats->duration_ms = sw.ElapsedMillis();
+  return result;
+}
+
+Status IraReorganizer::MigrateAllAndFinish(
+    PartitionId p, RelocationPlanner* planner, const IraOptions& options,
+    const std::unordered_set<ObjectId>& traversed,
+    std::vector<ObjectId> objects, std::unordered_set<ObjectId>* migrated,
+    ParentLists* plists, ReorgStats* stats) {
+  Status result = Status::Ok();
+  for (ObjectId oid : objects) {
+    stats->trt_peak_size =
+        std::max<uint64_t>(stats->trt_peak_size, ctx_.trt->Size());
+    if (!ctx_.store->Validate(oid)) continue;  // defensive: already gone
+    Status s = options.two_lock_mode
+                   ? MigrateTwoLock(oid, p, planner, options, migrated,
+                                    plists, stats)
+                   : MigrateBasic(oid, p, planner, options, migrated, plists,
+                                  stats);
+    if (!s.ok()) {
+      result = s;
+      break;
+    }
+    MaybeCheckpoint(p, options, traversed, *plists, *stats);
+  }
+  if (group_txn_ != nullptr) {
+    group_txn_->Commit();
+    group_txn_.reset();
+  }
+
+  // Section 4.6: everything allocated in the partition that the traversal
+  // did not reach is garbage — reclaim it.
+  if (result.ok() && options.collect_garbage) {
+    result = SweepGarbage(p, traversed, *stats, stats);
+  }
+
+  ctx_.trt->Disable();
+  return result;
+}
+
+void IraReorganizer::MaybeCheckpoint(
+    PartitionId p, const IraOptions& options,
+    const std::unordered_set<ObjectId>& traversed, const ParentLists& plists,
+    const ReorgStats& stats) {
+  if (options.checkpoint_sink == nullptr || options.checkpoint_every == 0) {
+    return;
+  }
+  if (stats.objects_migrated % options.checkpoint_every != 0) return;
+  // Checkpointed state must only cover *committed* migrations: with
+  // grouping, the open group transaction's moves would be lost by a
+  // crash, so checkpoint only at group boundaries.
+  if (group_txn_ != nullptr && in_group_ != 0) return;
+  ReorgCheckpoint* ckpt = options.checkpoint_sink;
+  ckpt->partition = p;
+  ckpt->lsn = ctx_.log->last_lsn();
+  ckpt->traversed = traversed;
+  ckpt->parents = plists.Flatten();
+  ckpt->relocation = stats.relocation;
+  ckpt->valid = true;
+}
+
+void IraReorganizer::WaitForHistoricalLockers(ObjectId oid, Transaction* txn) {
+  // Wait for every active transaction that ever locked this object —
+  // under any identity it had during this run. A reader of the
+  // pre-migration copy may still hold its references in local memory.
+  for (;;) {
+    for (TxnId t : ctx_.locks->HistoricalHolders(oid, txn->id())) {
+      ctx_.txns->WaitForTxn(t);
+    }
+    auto it = reverse_relocation_.find(oid);
+    if (it == reverse_relocation_.end()) break;
+    oid = it->second;
+  }
+}
+
+Status IraReorganizer::FindExactParents(ObjectId oid, Transaction* txn,
+                                        const IraOptions& options,
+                                        ParentLists* plists,
+                                        std::vector<ObjectId>* newly_locked,
+                                        ReorgStats* stats) {
+  std::unordered_set<ObjectId> locked_here;
+  auto lock_parent = [&](ObjectId r) -> Status {
+    if (txn->Holds(r)) return Status::Ok();
+    Status s = txn->LockWithTimeout(r, LockMode::kExclusive,
+                                    options.lock_timeout);
+    if (!s.ok()) {
+      ++stats->lock_timeouts;
+      return s;
+    }
+    newly_locked->push_back(r);
+    locked_here.insert(r);
+    if (options.wait_for_historical_lockers) {
+      WaitForHistoricalLockers(r, txn);
+    }
+    return s;
+  };
+  auto unlock_here = [&](ObjectId r) {
+    if (locked_here.erase(r) > 0) {
+      txn->Unlock(r);
+      newly_locked->erase(
+          std::find(newly_locked->begin(), newly_locked->end(), r));
+    }
+  };
+
+  // S1: lock the approximate parents, prune those that no longer hold a
+  // reference (it was deleted after the fuzzy traversal saw them).
+  for (ObjectId r : plists->Get(oid)) {
+    if (r == oid) continue;
+    Status s = lock_parent(r);
+    if (!s.ok()) return s;
+    if (!IsParentOf(ctx_.store, r, oid)) {
+      plists->RemoveParent(oid, r);
+      unlock_here(r);
+    }
+  }
+
+  // S2: drain TRT tuples naming oid as the referenced object. Each round
+  // syncs the analyzer so a tuple logged by a completed transaction
+  // cannot be missed (Lemma 3.2, case 2), then processes the whole batch
+  // of tuples present — one-at-a-time draining could be outpaced by new
+  // insertions on hot objects.
+  for (;;) {
+    ctx_.analyzer->Sync();
+    std::vector<TrtTuple> batch = ctx_.trt->TuplesFor(oid);
+    if (batch.empty()) break;
+    for (const TrtTuple& t : batch) {
+      ObjectId r = ResolveRelocated(*ctx_.store, *stats, t.parent);
+      if (r != oid) {
+        Status s = lock_parent(r);
+        if (!s.ok()) return s;  // tuple stays; retry will reprocess it
+      }
+      ctx_.trt->EraseTuple(t);
+      ++stats->trt_tuples_drained;
+      if (r != oid && IsParentOf(ctx_.store, r, oid)) {
+        plists->AddParent(oid, r);  // persists across retries
+      } else if (r != oid && !plists->Contains(oid, r)) {
+        unlock_here(r);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status IraReorganizer::MigrateBasic(ObjectId oid, PartitionId p,
+                                    RelocationPlanner* planner,
+                                    const IraOptions& options,
+                                    std::unordered_set<ObjectId>* migrated,
+                                    ParentLists* plists, ReorgStats* stats) {
+  for (uint32_t attempt = 0; attempt < options.max_retries_per_object;
+       ++attempt) {
+    if (group_txn_ == nullptr) {
+      group_txn_ = ctx_.txns->Begin(LogSource::kReorg);
+      in_group_ = 0;
+    }
+    Transaction* txn = group_txn_.get();
+    std::vector<ObjectId> newly_locked;
+    Status s = FindExactParents(oid, txn, options, plists, &newly_locked,
+                                stats);
+    if (s.IsTimedOut()) {
+      // Release only this object's locks and re-run Find_Exact_Parents
+      // (the paper: it must be reinvoked if it fails due to a deadlock).
+      for (ObjectId l : newly_locked) txn->Unlock(l);
+      ++stats->find_exact_retries;
+      continue;
+    }
+    if (!s.ok()) return s;
+
+    ObjectId onew;
+    s = MoveObjectAndUpdateRefs(ctx_, txn, oid, planner, plists->Get(oid), p,
+                                migrated, plists, stats, &onew);
+    if (!s.ok()) {
+      group_txn_->Abort();
+      group_txn_.reset();
+      return s;
+    }
+    migrated->insert(oid);
+    reverse_relocation_[onew] = oid;
+    stats->max_distinct_objects_locked = std::max<uint64_t>(
+        stats->max_distinct_objects_locked, txn->num_locks_held());
+    if (++in_group_ >= options.group_size) {
+      group_txn_->Commit();
+      group_txn_.reset();
+    }
+    return Status::Ok();
+  }
+  return Status::TimedOut("gave up migrating " + oid.ToString());
+}
+
+Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
+                                      RelocationPlanner* planner,
+                                      const IraOptions& options,
+                                      std::unordered_set<ObjectId>* migrated,
+                                      ParentLists* plists, ReorgStats* stats) {
+  // Anchor transaction: lock the object being migrated, in both the old
+  // and (once created) the new location, for the whole migration.
+  std::unique_ptr<Transaction> anchor;
+  for (uint32_t attempt = 0;; ++attempt) {
+    if (attempt >= options.max_retries_per_object) {
+      return Status::TimedOut("gave up locking " + oid.ToString());
+    }
+    anchor = ctx_.txns->Begin(LogSource::kReorg);
+    Status s = anchor->LockWithTimeout(oid, LockMode::kExclusive,
+                                       options.lock_timeout);
+    if (s.ok()) break;
+    ++stats->lock_timeouts;
+    anchor->Abort();
+  }
+  if (options.wait_for_historical_lockers) {
+    // Section 4.1: whenever the IRA locks an object it waits for every
+    // active transaction that ever locked it. For the anchor lock this
+    // also flushes the undo of any such transaction that later aborts —
+    // undo writes bypass the lock manager, so they must all be complete
+    // before O_old's contents are copied.
+    WaitForHistoricalLockers(oid, anchor.get());
+  }
+
+  // Copy the contents and durably create O_new in its own transaction, so
+  // a crash between parent updates never leaves committed references to a
+  // rolled-back O_new.
+  std::vector<ObjectId> refs;
+  std::vector<uint8_t> data;
+  {
+    ObjectHeader* h = ctx_.store->Get(oid);
+    if (h == nullptr) {
+      anchor->Abort();
+      return Status::NotFound("two-lock source vanished");
+    }
+    SharedLatchGuard g(&h->latch);
+    refs.assign(h->refs(), h->refs() + h->num_refs);
+    data.assign(h->data(), h->data() + h->data_size);
+  }
+  ObjectId onew;
+  {
+    std::vector<ObjectId> new_refs = refs;
+    std::vector<uint8_t> new_data = data;
+    planner->Transform(oid, &new_refs, &new_data);
+    std::unique_ptr<Transaction> ctxn = ctx_.txns->Begin(LogSource::kReorg);
+    Status s = ctxn->CreateObjectWithContents(planner->Target(oid), new_refs,
+                                              new_data, &onew, oid);
+    if (!s.ok()) {
+      ctxn->Abort();
+      anchor->Abort();
+      return s;
+    }
+    ctxn->Commit();
+  }
+  anchor->Lock(onew, LockMode::kExclusive);  // uncontended: unreachable yet
+
+  // Process parents one at a time: at most two distinct objects (O and
+  // one parent) are ever locked. Parent updates run in their own
+  // transactions, optionally grouped (Section 4.3).
+  std::unique_ptr<Transaction> ptxn;
+  uint32_t in_group = 0;
+  auto commit_group = [&]() {
+    if (ptxn != nullptr) {
+      ptxn->Commit();
+      ptxn.reset();
+      in_group = 0;
+    }
+  };
+  auto process_parent = [&](ObjectId r) -> Status {
+    for (uint32_t attempt = 0; attempt < options.max_retries_per_object;
+         ++attempt) {
+      if (ptxn == nullptr) ptxn = ctx_.txns->Begin(LogSource::kReorg);
+      Status s = ptxn->LockWithTimeout(r, LockMode::kExclusive,
+                                       options.lock_timeout);
+      if (!s.ok()) {
+        ++stats->lock_timeouts;
+        // Keep completed parent updates; retry this parent afresh.
+        commit_group();
+        continue;
+      }
+      if (options.wait_for_historical_lockers) {
+        WaitForHistoricalLockers(r, ptxn.get());
+      }
+      // Writers of r completed before the lock was granted; sync so the
+      // ERT reflects their edits before this rewrite adjusts it.
+      ctx_.analyzer->Sync();
+      s = RewriteParentEdge(ctx_, ptxn.get(), r, oid, onew, p, nullptr);
+      if (!s.ok()) {
+        ptxn->Abort();
+        ptxn.reset();
+        return s;
+      }
+      plists->RemoveParent(oid, r);
+      stats->max_distinct_objects_locked = std::max<uint64_t>(
+          stats->max_distinct_objects_locked,
+          1 /* O_old + O_new */ + ptxn->num_locks_held());
+      if (++in_group >= options.group_size) commit_group();
+      return Status::Ok();
+    }
+    return Status::TimedOut("gave up on parent " + r.ToString());
+  };
+
+  for (ObjectId r : plists->Get(oid)) {
+    if (r == oid) continue;
+    Status s = process_parent(r);
+    if (!s.ok()) {
+      commit_group();
+      anchor->Abort();
+      return s;
+    }
+  }
+
+  // Drain the TRT for oid, locking one parent at a time (batched per
+  // sync so hot objects cannot out-insert the drain).
+  for (;;) {
+    ctx_.analyzer->Sync();
+    std::vector<TrtTuple> batch = ctx_.trt->TuplesFor(oid);
+    if (batch.empty()) break;
+    for (const TrtTuple& t : batch) {
+      ObjectId r = ResolveRelocated(*ctx_.store, *stats, t.parent);
+      if (r != oid && r != onew) {
+        Status s = process_parent(r);
+        if (!s.ok()) {
+          commit_group();
+          anchor->Abort();
+          return s;
+        }
+      }
+      ctx_.trt->EraseTuple(t);
+      ++stats->trt_tuples_drained;
+    }
+  }
+  commit_group();
+
+  // Finish inside the anchor transaction (it holds the locks on O_old and
+  // O_new): children bookkeeping, TRT rename, free O_old. A crash before
+  // this commit leaves the recoverable interrupted-migration state of
+  // Section 4.2 (both copies live, parents already on O_new), detected by
+  // FindInterruptedMigrations.
+  Status s = FinishMigration(ctx_, anchor.get(), oid, onew, refs, p,
+                             migrated, plists, stats);
+  if (!s.ok()) {
+    anchor->Abort();
+    return s;
+  }
+  anchor->Commit();
+  migrated->insert(oid);
+  reverse_relocation_[onew] = oid;
+  return Status::Ok();
+}
+
+Status IraReorganizer::SweepGarbage(
+    PartitionId p, const std::unordered_set<ObjectId>& traversed,
+    const ReorgStats& stats_so_far, ReorgStats* stats) {
+  // Everything still live in the partition that was neither traversed nor
+  // created by this reorganization (a same-partition migration target) is
+  // unreachable: reclaim it.
+  std::unordered_set<ObjectId> keep;
+  for (const auto& [from, to] : stats_so_far.relocation) {
+    (void)from;
+    if (to.partition() == p) keep.insert(to);
+  }
+  std::vector<ObjectId> garbage;
+  Partition& part = ctx_.store->partition(p);
+  part.ForEachLiveObject([&](uint64_t offset) {
+    ObjectId oid(p, offset);
+    if (traversed.count(oid) == 0 && keep.count(oid) == 0) {
+      garbage.push_back(oid);
+    }
+  });
+  if (garbage.empty()) return Status::Ok();
+
+  std::unique_ptr<Transaction> gtxn = ctx_.txns->Begin(LogSource::kReorg);
+  std::vector<ObjectId> refs;
+  for (ObjectId oid : garbage) {
+    // Garbage may reference live objects in other partitions; drop the
+    // corresponding ERT back pointers before freeing.
+    if (ReadRefsLatched(ctx_.store, oid, &refs)) {
+      for (ObjectId child : refs) {
+        if (child.partition() != p) {
+          ctx_.erts->For(child.partition()).RemoveRef(child, oid, "gc");
+        }
+      }
+    }
+    Status s = gtxn->FreeObject(oid);
+    if (!s.ok()) {
+      gtxn->Abort();
+      return s;
+    }
+    ++stats->garbage_collected;
+  }
+  gtxn->Commit();
+  return Status::Ok();
+}
+
+}  // namespace brahma

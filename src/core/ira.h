@@ -1,0 +1,126 @@
+#ifndef BRAHMA_CORE_IRA_H_
+#define BRAHMA_CORE_IRA_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "core/relocation.h"
+#include "core/reorg_checkpoint.h"
+
+namespace brahma {
+
+// Knobs for the Incremental Reorganization Algorithm.
+struct IraOptions {
+  // Section 4.2 extension: lock the object being migrated (old and new
+  // locations) and the parents one at a time — at most two distinct
+  // objects are locked at any point of time.
+  bool two_lock_mode = false;
+
+  // Section 4.3: migrations grouped per transaction to amortize logging.
+  // In two-lock mode this instead groups parent updates per transaction.
+  uint32_t group_size = 1;
+
+  // Section 4.6: reclaim objects of the partition that the traversal did
+  // not reach (they are garbage) after migration completes.
+  bool collect_garbage = false;
+
+  // Section 4.1 extension: transactions do not follow strict 2PL; after
+  // locking an object the reorganizer additionally waits for every active
+  // transaction that ever locked it. Requires LockManager history.
+  bool wait_for_historical_lockers = false;
+
+  // Ablation knob: suppress the Section 4.5 TRT purge even under strict
+  // 2PL (the TRT then only shrinks by drains).
+  bool disable_trt_purge = false;
+
+  // Lock-wait timeout for the reorganizer's own acquisitions (deadlocks
+  // with user transactions are broken by timeout, Section 5).
+  std::chrono::milliseconds lock_timeout{1000};
+
+  // Safety valve on Find_Exact_Parents retries per object.
+  uint32_t max_retries_per_object = 10000;
+
+  // Section 4.4: checkpoint the reorganization state (Traversed_Objects,
+  // Parent_Lists, completed migrations) into *checkpoint_sink every
+  // checkpoint_every migrations, so a failure does not force the
+  // traversal to be redone. 0 disables.
+  ReorgCheckpoint* checkpoint_sink = nullptr;
+  uint32_t checkpoint_every = 0;
+};
+
+// The Incremental Reorganization Algorithm (paper Section 3): migrates
+// every live object of a partition to planner-chosen locations while user
+// transactions keep running, holding only the locks on the current
+// object's parents (basic mode) or on at most two distinct objects
+// (two-lock mode).
+class IraReorganizer {
+ public:
+  explicit IraReorganizer(ReorgContext ctx) : ctx_(ctx) {}
+
+  // Runs the full algorithm on partition p. Blocking; returns when every
+  // live object of the partition has been migrated (and, optionally,
+  // garbage reclaimed).
+  Status Run(PartitionId p, RelocationPlanner* planner,
+             const IraOptions& options, ReorgStats* stats);
+
+  // Resumes a reorganization from a Section 4.4 checkpoint (typically
+  // after restart recovery): the TRT is reconstructed from the log
+  // generated since the checkpoint, the checkpointed traversal state is
+  // patched for migrations that completed after the checkpoint, the
+  // traversal is topped up from TRT-referenced objects only, and the
+  // remaining objects are migrated.
+  Status Resume(const ReorgCheckpoint& checkpoint, RelocationPlanner* planner,
+                const IraOptions& options, ReorgStats* stats);
+
+ private:
+  // Shared second step: migrate `objects` (skipping already-migrated /
+  // freed ones), then optionally sweep garbage and disable the TRT.
+  Status MigrateAllAndFinish(PartitionId p, RelocationPlanner* planner,
+                             const IraOptions& options,
+                             const std::unordered_set<ObjectId>& traversed,
+                             std::vector<ObjectId> objects,
+                             std::unordered_set<ObjectId>* migrated,
+                             ParentLists* plists, ReorgStats* stats);
+
+  void MaybeCheckpoint(PartitionId p, const IraOptions& options,
+                       const std::unordered_set<ObjectId>& traversed,
+                       const ParentLists& plists, const ReorgStats& stats);
+  // Find_Exact_Parents (Figure 4). On success the exact parent set of oid
+  // is locked by txn and recorded in plists; newly taken locks are listed
+  // in *newly_locked so a timeout can release just this object's locks.
+  Status FindExactParents(ObjectId oid, Transaction* txn,
+                          const IraOptions& options, ParentLists* plists,
+                          std::vector<ObjectId>* newly_locked,
+                          ReorgStats* stats);
+
+  Status MigrateBasic(ObjectId oid, PartitionId p, RelocationPlanner* planner,
+                      const IraOptions& options,
+                      std::unordered_set<ObjectId>* migrated,
+                      ParentLists* plists, ReorgStats* stats);
+
+  Status MigrateTwoLock(ObjectId oid, PartitionId p,
+                        RelocationPlanner* planner, const IraOptions& options,
+                        std::unordered_set<ObjectId>* migrated,
+                        ParentLists* plists, ReorgStats* stats);
+
+  Status SweepGarbage(PartitionId p,
+                      const std::unordered_set<ObjectId>& traversed,
+                      const ReorgStats& stats_so_far, ReorgStats* stats);
+
+  void WaitForHistoricalLockers(ObjectId oid, Transaction* txn);
+
+  ReorgContext ctx_;
+  // Open migration-group transaction (Section 4.3 grouping, basic mode).
+  std::unique_ptr<Transaction> group_txn_;
+  uint32_t in_group_ = 0;
+  // O_new -> O_old for this run. A transaction that copied a reference
+  // out of an object before it migrated appears only in the lock history
+  // of the old identity; Section 4.1 waits must chase pre-images.
+  std::unordered_map<ObjectId, ObjectId> reverse_relocation_;
+};
+
+}  // namespace brahma
+
+#endif  // BRAHMA_CORE_IRA_H_

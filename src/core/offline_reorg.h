@@ -1,0 +1,27 @@
+#ifndef BRAHMA_CORE_OFFLINE_REORG_H_
+#define BRAHMA_CORE_OFFLINE_REORG_H_
+
+#include "common/status.h"
+#include "core/relocation.h"
+
+namespace brahma {
+
+// The simple off-line algorithm of paper Section 3.1: assumes the
+// database is quiescent (the caller guarantees no concurrent
+// transactions). A single traversal of the partition finds all objects
+// and their parents; each object is then moved and its references
+// updated. Used as a correctness oracle in tests and as the quiesced
+// phase of PQR.
+class OfflineReorganizer {
+ public:
+  explicit OfflineReorganizer(ReorgContext ctx) : ctx_(ctx) {}
+
+  Status Run(PartitionId p, RelocationPlanner* planner, ReorgStats* stats);
+
+ private:
+  ReorgContext ctx_;
+};
+
+}  // namespace brahma
+
+#endif  // BRAHMA_CORE_OFFLINE_REORG_H_

@@ -1,0 +1,82 @@
+#ifndef BRAHMA_CORE_PARENT_LISTS_H_
+#define BRAHMA_CORE_PARENT_LISTS_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/object_id.h"
+
+namespace brahma {
+
+// Parent lists built by the fuzzy traversal (paper Section 3.4) and kept
+// current during migration: when an object O migrates to O_new, the
+// parent lists of O's not-yet-migrated children replace O by O_new
+// (Figure 5). Not thread-safe: owned by the single reorganization driver.
+class ParentLists {
+ public:
+  ParentLists() = default;
+
+  void AddParent(ObjectId child, ObjectId parent) {
+    lists_[child].insert(parent);
+  }
+
+  void RemoveParent(ObjectId child, ObjectId parent) {
+    auto it = lists_.find(child);
+    if (it == lists_.end()) return;
+    it->second.erase(parent);
+  }
+
+  void ReplaceParent(ObjectId child, ObjectId old_parent,
+                     ObjectId new_parent) {
+    auto it = lists_.find(child);
+    if (it == lists_.end()) return;
+    if (it->second.erase(old_parent) > 0) it->second.insert(new_parent);
+  }
+
+  std::vector<ObjectId> Get(ObjectId child) const {
+    auto it = lists_.find(child);
+    if (it == lists_.end()) return {};
+    return {it->second.begin(), it->second.end()};
+  }
+
+  bool Contains(ObjectId child, ObjectId parent) const {
+    auto it = lists_.find(child);
+    return it != lists_.end() && it->second.count(parent) > 0;
+  }
+
+  void Erase(ObjectId child) { lists_.erase(child); }
+
+  size_t size() const { return lists_.size(); }
+
+  // Replaces old_parent by new_parent in every list it appears in (used
+  // when resuming from a checkpoint that predates some migrations).
+  void ReplaceParentEverywhere(ObjectId old_parent, ObjectId new_parent) {
+    for (auto& [child, parents] : lists_) {
+      (void)child;
+      if (parents.erase(old_parent) > 0) parents.insert(new_parent);
+    }
+  }
+
+  // Checkpoint support: flatten to (child, parent) pairs and back.
+  std::vector<std::pair<ObjectId, ObjectId>> Flatten() const {
+    std::vector<std::pair<ObjectId, ObjectId>> out;
+    for (const auto& [child, parents] : lists_) {
+      for (ObjectId p : parents) out.emplace_back(child, p);
+    }
+    return out;
+  }
+  static ParentLists FromFlat(
+      const std::vector<std::pair<ObjectId, ObjectId>>& flat) {
+    ParentLists pl;
+    for (const auto& [child, parent] : flat) pl.AddParent(child, parent);
+    return pl;
+  }
+
+ private:
+  std::unordered_map<ObjectId, std::unordered_set<ObjectId>> lists_;
+};
+
+}  // namespace brahma
+
+#endif  // BRAHMA_CORE_PARENT_LISTS_H_

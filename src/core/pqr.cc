@@ -1,0 +1,97 @@
+#include "core/pqr.h"
+
+#include <unordered_set>
+
+#include "common/clock.h"
+#include "core/fuzzy_traversal.h"
+
+namespace brahma {
+
+Status PqrReorganizer::Run(PartitionId p, RelocationPlanner* planner,
+                           const PqrOptions& options, ReorgStats* stats) {
+  Stopwatch sw;
+  ctx_.analyzer->Sync();  // keep pre-reorg history out of the TRT
+  ctx_.trt->Enable(p, /*purge_on_completion=*/false);
+  ctx_.txns->WaitForAll(ctx_.txns->ActiveTxns());
+
+  std::unique_ptr<Transaction> txn = ctx_.txns->Begin(LogSource::kReorg);
+
+  // Quiesce_Partition: lock every external parent noted in the ERT, then
+  // every parent the TRT reveals, until no unlocked parent remains.
+  for (;;) {
+    ctx_.analyzer->Sync();
+    std::unordered_set<ObjectId> pending;
+    for (const auto& [child, parent] : ctx_.erts->For(p).Entries()) {
+      (void)child;
+      if (parent.partition() != p && !txn->Holds(parent)) {
+        pending.insert(parent);
+      }
+    }
+    for (ObjectId parent : ctx_.trt->AllParents()) {
+      if (parent.partition() != p && !txn->Holds(parent) &&
+          ctx_.store->Validate(parent)) {
+        pending.insert(parent);
+      }
+    }
+    if (pending.empty()) break;
+    for (ObjectId parent : pending) {
+      // PQR never gives up: retry until the lock is granted.
+      for (;;) {
+        Status s = txn->LockWithTimeout(parent, LockMode::kExclusive,
+                                        options.lock_timeout);
+        if (s.ok()) break;
+        ++stats->lock_timeouts;
+      }
+    }
+    stats->max_distinct_objects_locked = std::max<uint64_t>(
+        stats->max_distinct_objects_locked, txn->num_locks_held());
+  }
+
+  // The partition is quiescent: reorganize it like the off-line algorithm
+  // (Section 3.1). The traversal is physically safe (nothing can touch
+  // the partition), and parents need no further locking — but internal
+  // parents are locked anyway since SetRef requires an exclusive lock,
+  // and every such lock is uncontended.
+  FuzzyTraversal traversal(ctx_.store, ctx_.erts, ctx_.trt, ctx_.analyzer);
+  TraversalResult tr = traversal.Run(p);
+  stats->traversal_visited = tr.objects_visited;
+  ParentLists plists = std::move(tr.parents);
+  std::vector<ObjectId> objects(tr.traversed.begin(), tr.traversed.end());
+  planner->Order(&objects);
+
+  std::unordered_set<ObjectId> migrated;
+  Status result = Status::Ok();
+  for (ObjectId oid : objects) {
+    if (!ctx_.store->Validate(oid)) continue;
+    // Lock internal parents (uncontended) so MoveObjectAndUpdateRefs'
+    // SetRef calls pass the lock checks.
+    std::vector<ObjectId> parents = plists.Get(oid);
+    for (ObjectId r : parents) {
+      if (r == oid || txn->Holds(r)) continue;
+      Status s = txn->Lock(r, LockMode::kExclusive);
+      if (!s.ok()) {
+        result = s;
+        break;
+      }
+    }
+    if (!result.ok()) break;
+    stats->max_distinct_objects_locked = std::max<uint64_t>(
+        stats->max_distinct_objects_locked, txn->num_locks_held());
+    ObjectId onew;
+    result = MoveObjectAndUpdateRefs(ctx_, txn.get(), oid, planner, parents, p,
+                                     &migrated, &plists, stats, &onew);
+    if (!result.ok()) break;
+    migrated.insert(oid);
+  }
+
+  if (result.ok()) {
+    txn->Commit();
+  } else {
+    txn->Abort();
+  }
+  ctx_.trt->Disable();
+  stats->duration_ms = sw.ElapsedMillis();
+  return result;
+}
+
+}  // namespace brahma

@@ -1,0 +1,40 @@
+#ifndef BRAHMA_CORE_PQR_H_
+#define BRAHMA_CORE_PQR_H_
+
+#include <chrono>
+
+#include "common/status.h"
+#include "core/relocation.h"
+
+namespace brahma {
+
+struct PqrOptions {
+  // Wait per lock attempt while quiescing; PQR never gives up — it keeps
+  // retrying (user transactions break deadlock cycles via their own
+  // timeouts and aborts).
+  std::chrono::milliseconds lock_timeout{1000};
+};
+
+// Partition Quiesce Reorganization (paper Section 5.1) — the naive
+// baseline. It quiesces the partition by exclusively locking every object
+// outside the partition that references an object inside it (the ERT
+// parents, plus any new parents the TRT reveals while locking), which
+// under strict 2PL guarantees no transaction can reach any object of the
+// partition. It then reorganizes the quiesced partition like the off-line
+// algorithm and releases everything at the end. Transactions touching any
+// external parent — including the partition's directory/persistent roots
+// — block (or time out and retry) for the entire reorganization.
+class PqrReorganizer {
+ public:
+  explicit PqrReorganizer(ReorgContext ctx) : ctx_(ctx) {}
+
+  Status Run(PartitionId p, RelocationPlanner* planner,
+             const PqrOptions& options, ReorgStats* stats);
+
+ private:
+  ReorgContext ctx_;
+};
+
+}  // namespace brahma
+
+#endif  // BRAHMA_CORE_PQR_H_

@@ -1,0 +1,280 @@
+#include "core/relocation.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "core/fuzzy_traversal.h"
+
+namespace brahma {
+
+void RelocationPlanner::Order(std::vector<ObjectId>* objects) {
+  std::sort(objects->begin(), objects->end());
+}
+
+void ClusteringPlanner::Order(std::vector<ObjectId>* objects) {
+  std::unordered_set<ObjectId> pending(objects->begin(), objects->end());
+  std::vector<ObjectId> ordered;
+  ordered.reserve(objects->size());
+  std::unordered_set<ObjectId> seen;
+  std::vector<ObjectId> refs;
+  // One complete cluster at a time: BFS from each root over the cluster
+  // slots only.
+  for (ObjectId r : roots_) {
+    if (pending.count(r) == 0 || !seen.insert(r).second) continue;
+    std::deque<ObjectId> queue{r};
+    while (!queue.empty()) {
+      ObjectId cur = queue.front();
+      queue.pop_front();
+      ordered.push_back(cur);
+      if (!ReadRefSlotsLatched(store_, cur, &refs)) continue;
+      for (uint32_t i = 0; i < refs.size() && i < follow_slots_; ++i) {
+        ObjectId c = refs[i];
+        if (c.valid() && pending.count(c) > 0 && seen.insert(c).second) {
+          queue.push_back(c);
+        }
+      }
+    }
+  }
+  // Anything unreachable from the given roots keeps address order at the
+  // end.
+  std::vector<ObjectId> rest;
+  for (ObjectId o : *objects) {
+    if (seen.count(o) == 0) rest.push_back(o);
+  }
+  std::sort(rest.begin(), rest.end());
+  ordered.insert(ordered.end(), rest.begin(), rest.end());
+  *objects = std::move(ordered);
+}
+
+bool IsParentOf(ObjectStore* store, ObjectId parent, ObjectId child) {
+  ObjectHeader* h = store->Get(parent);
+  if (h == nullptr) return false;
+  SharedLatchGuard g(&h->latch);
+  if (!h->IsLive() || h->self != parent.raw()) return false;
+  for (uint32_t i = 0; i < h->num_refs; ++i) {
+    if (h->refs()[i] == child) return true;
+  }
+  return false;
+}
+
+Status RewriteParentEdge(const ReorgContext& ctx, Transaction* txn,
+                         ObjectId parent, ObjectId oid, ObjectId onew,
+                         PartitionId reorg_partition, bool* had_edge) {
+  if (had_edge != nullptr) *had_edge = false;
+  ObjectHeader* ph = ctx.store->Get(parent);
+  if (ph == nullptr) return Status::Ok();  // pruned/stale parent
+  std::vector<uint32_t> slots;
+  {
+    SharedLatchGuard g(&ph->latch);
+    if (!ph->IsLive() || ph->self != parent.raw()) return Status::Ok();
+    for (uint32_t i = 0; i < ph->num_refs; ++i) {
+      if (ph->refs()[i] == oid) slots.push_back(i);
+    }
+  }
+  if (slots.empty()) return Status::Ok();
+  for (uint32_t slot : slots) {
+    Status s = txn->SetRef(parent, slot, onew);
+    if (!s.ok()) return s;
+  }
+  if (had_edge != nullptr) *had_edge = true;
+  // Update the ERTs of the partitions where O_old and O_new reside. The
+  // ERT is a multiset (one entry per referencing slot), so adjust it once
+  // per rewritten slot.
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (parent.partition() != reorg_partition) {
+      ctx.erts->For(reorg_partition).RemoveRef(oid, parent, "rewrite");
+    }
+    if (parent.partition() != onew.partition()) {
+      ctx.erts->For(onew.partition()).AddRef(onew, parent, "rewrite");
+    }
+  }
+  return Status::Ok();
+}
+
+Status FinishMigration(const ReorgContext& ctx, Transaction* txn,
+                       ObjectId oid, ObjectId onew,
+                       const std::vector<ObjectId>& refs_of_old,
+                       PartitionId reorg_partition,
+                       const std::unordered_set<ObjectId>* migrated,
+                       ParentLists* plists, ReorgStats* stats) {
+  // Sync the analyzer first: every user operation that touched O_old's
+  // references completed before the migration took over (its writers all
+  // held and released locks we then acquired), so after this sync the
+  // ERTs reflect O_old's final out-edges and the TRT holds every tuple
+  // that can ever name O_old — the child-edge fix-ups and the parent
+  // rename below miss nothing.
+  ctx.analyzer->Sync();
+
+  // Resolve any self references in O_new first (they must follow the
+  // object to its new identity).
+  {
+    ObjectHeader* nh = ctx.store->Get(onew);
+    if (nh == nullptr) return Status::Internal("O_new vanished");
+    std::vector<uint32_t> self_slots;
+    {
+      SharedLatchGuard g(&nh->latch);
+      for (uint32_t i = 0; i < nh->num_refs; ++i) {
+        if (nh->refs()[i] == oid) self_slots.push_back(i);
+      }
+    }
+    for (uint32_t slot : self_slots) {
+      Status s = txn->SetRef(onew, slot, onew);
+      if (!s.ok()) return s;
+    }
+  }
+  // O_new's out-edges as stored (post-transform, post-self-fixup).
+  std::vector<ObjectId> refs_of_new;
+  if (!ReadRefSlotsLatched(ctx.store, onew, &refs_of_new)) {
+    return Status::Internal("O_new unreadable");
+  }
+
+  // Old out-edges: O_old's entries leave the ERTs, and children's parent
+  // lists forget O_old.
+  for (ObjectId child : refs_of_old) {
+    if (!child.valid() || child == oid) continue;
+    if (child.partition() != reorg_partition) {
+      ctx.erts->For(child.partition()).RemoveRef(child, oid, "finish-old");
+    }
+    if (child.partition() == reorg_partition && plists != nullptr &&
+        (migrated == nullptr || migrated->count(child) == 0)) {
+      plists->RemoveParent(child, oid);
+    }
+  }
+  // New out-edges: O_new's entries enter the ERTs, and children's parent
+  // lists learn O_new. (With the default identity Transform this is the
+  // same edge set under the new identity; a schema-evolution Transform
+  // may have dropped or kept slots.)
+  for (ObjectId child : refs_of_new) {
+    if (!child.valid() || child == onew) continue;
+    if (child.partition() != onew.partition()) {
+      ctx.erts->For(child.partition()).AddRef(child, onew, "finish-new");
+    }
+    if (child.partition() == reorg_partition && plists != nullptr &&
+        (migrated == nullptr || migrated->count(child) == 0)) {
+      plists->AddParent(child, onew);
+    }
+  }
+
+  // TRT tuples naming O_old as the *parent* now physically live in O_new.
+  ctx.trt->RenameParent(oid, onew);
+
+  // Delete O_old.
+  Status s = txn->FreeObject(oid);
+  if (!s.ok()) return s;
+
+  if (plists != nullptr) plists->Erase(oid);
+  if (stats != nullptr) {
+    ++stats->objects_migrated;
+    const ObjectHeader* nh = ctx.store->Get(onew);
+    if (nh != nullptr) stats->bytes_moved += nh->block_size;
+    stats->relocation[oid] = onew;
+  }
+  return Status::Ok();
+}
+
+Status CompleteInterruptedMigration(const ReorgContext& ctx, ObjectId old_id,
+                                    ObjectId new_id) {
+  if (!ctx.store->Validate(old_id) || !ctx.store->Validate(new_id)) {
+    return Status::InvalidArgument("migration pair not live");
+  }
+  const PartitionId p = old_id.partition();
+  std::unique_ptr<Transaction> txn = ctx.txns->Begin(LogSource::kReorg);
+
+  // Find every remaining parent of O_old by scanning the database (the
+  // database is quiescent during restart recovery, so this is exact).
+  std::vector<ObjectId> parents;
+  for (uint32_t q = 0; q < ctx.store->num_partitions(); ++q) {
+    Partition& part = ctx.store->partition(static_cast<PartitionId>(q));
+    part.ForEachLiveObject([&](uint64_t offset) {
+      const ObjectHeader* h = part.HeaderAt(offset);
+      for (uint32_t i = 0; i < h->num_refs; ++i) {
+        if (h->refs()[i] == old_id) {
+          parents.push_back(ObjectId(static_cast<PartitionId>(q), offset));
+          break;
+        }
+      }
+    });
+  }
+  for (ObjectId parent : parents) {
+    Status s = txn->Lock(parent, LockMode::kExclusive);
+    if (!s.ok()) {
+      txn->Abort();
+      return s;
+    }
+    s = RewriteParentEdge(ctx, txn.get(), parent, old_id, new_id, p, nullptr);
+    if (!s.ok()) {
+      txn->Abort();
+      return s;
+    }
+  }
+
+  // Drop O_old's out-edge back pointers and free it (O_new's out-edges
+  // are already in the ERTs — restart recovery rebuilt them by scanning).
+  std::vector<ObjectId> refs;
+  if (ReadRefsLatched(ctx.store, old_id, &refs)) {
+    for (ObjectId child : refs) {
+      if (child.partition() != p) {
+        ctx.erts->For(child.partition()).RemoveRef(child, old_id, "complete");
+      }
+    }
+  }
+  Status s = txn->FreeObject(old_id);
+  if (!s.ok()) {
+    txn->Abort();
+    return s;
+  }
+  txn->Commit();
+  return Status::Ok();
+}
+
+Status MoveObjectAndUpdateRefs(const ReorgContext& ctx, Transaction* txn,
+                               ObjectId oid, RelocationPlanner* planner,
+                               const std::vector<ObjectId>& parents,
+                               PartitionId reorg_partition,
+                               const std::unordered_set<ObjectId>* migrated,
+                               ParentLists* plists, ReorgStats* stats,
+                               ObjectId* new_id) {
+  ObjectHeader* h = ctx.store->Get(oid);
+  if (h == nullptr) {
+    return Status::NotFound("migration source not live: " + oid.ToString());
+  }
+
+  // Copy O_old's contents (parents are all locked; latch anyway).
+  std::vector<ObjectId> refs;
+  std::vector<uint8_t> data;
+  {
+    SharedLatchGuard g(&h->latch);
+    refs.assign(h->refs(), h->refs() + h->num_refs);
+    data.assign(h->data(), h->data() + h->data_size);
+  }
+
+  // Copy O_old to the new location O_new, applying the planner's schema
+  // transformation (identity unless the driving operation is schema
+  // evolution). FinishMigration reconciles the ERTs and parent lists from
+  // the old and new edge sets independently, so transforms may drop,
+  // keep, or add reference slots.
+  std::vector<ObjectId> new_refs = refs;
+  std::vector<uint8_t> new_data = data;
+  planner->Transform(oid, &new_refs, &new_data);
+  ObjectId onew;
+  Status s =
+      txn->CreateObjectWithContents(planner->Target(oid), new_refs, new_data,
+                                    &onew, oid);
+  if (!s.ok()) return s;
+
+  // Change the reference in each parent to point to O_new.
+  for (ObjectId parent : parents) {
+    if (parent == oid) continue;  // self references are handled below
+    s = RewriteParentEdge(ctx, txn, parent, oid, onew, reorg_partition,
+                          nullptr);
+    if (!s.ok()) return s;
+  }
+
+  s = FinishMigration(ctx, txn, oid, onew, refs, reorg_partition, migrated,
+                      plists, stats);
+  if (!s.ok()) return s;
+  *new_id = onew;
+  return Status::Ok();
+}
+
+}  // namespace brahma

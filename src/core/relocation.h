@@ -1,0 +1,193 @@
+#ifndef BRAHMA_CORE_RELOCATION_H_
+#define BRAHMA_CORE_RELOCATION_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "core/ert.h"
+#include "core/log_analyzer.h"
+#include "core/parent_lists.h"
+#include "core/trt.h"
+#include "storage/object_store.h"
+#include "txn/transaction_manager.h"
+
+namespace brahma {
+
+// Subsystem wiring shared by all reorganizers.
+struct ReorgContext {
+  ObjectStore* store = nullptr;
+  TransactionManager* txns = nullptr;
+  LockManager* locks = nullptr;
+  LogManager* log = nullptr;
+  ErtSet* erts = nullptr;
+  Trt* trt = nullptr;
+  LogAnalyzer* analyzer = nullptr;
+};
+
+// Decides where migrated objects go and in what order they migrate. The
+// paper treats this as an orthogonal input: "the driving operation (e.g.,
+// compaction, clustering) makes these decisions" (Section 2).
+class RelocationPlanner {
+ public:
+  virtual ~RelocationPlanner() = default;
+
+  // Target partition for migrating oid.
+  virtual PartitionId Target(ObjectId oid) = 0;
+
+  // Orders the migration sequence (default: ascending physical address,
+  // which both packs compaction tightly and preserves arena locality).
+  virtual void Order(std::vector<ObjectId>* objects);
+
+  // Schema evolution (paper Section 1: "Schema Evolution could cause an
+  // increase in object size. Such objects may have to be moved since they
+  // no longer fit in their current location."): the planner may reshape
+  // the object as it moves. Default: identity. `refs` holds the slot
+  // array (may grow/shrink; dropped slots must not hold live references a
+  // consistent schema still needs), `data` the payload bytes.
+  virtual void Transform(ObjectId oid, std::vector<ObjectId>* refs,
+                         std::vector<uint8_t>* data) {
+    (void)oid;
+    (void)refs;
+    (void)data;
+  }
+};
+
+// Compaction (paper Section 1): objects migrate within their own
+// partition; first-fit allocation over the holes left by freed garbage
+// packs them toward low addresses.
+class CompactionPlanner : public RelocationPlanner {
+ public:
+  PartitionId Target(ObjectId oid) override { return oid.partition(); }
+};
+
+// Copying collection / partition evacuation (Sections 1, 4.6): all live
+// objects move to a destination partition; the source can be reclaimed
+// wholesale afterwards.
+class CopyOutPlanner : public RelocationPlanner {
+ public:
+  explicit CopyOutPlanner(PartitionId destination) : dest_(destination) {}
+  PartitionId Target(ObjectId) override { return dest_; }
+
+ private:
+  PartitionId dest_;
+};
+
+// Clustering (Section 1): copy out in breadth-first order from the given
+// cluster roots so related objects land adjacently in the destination.
+// The driving operation knows which reference slots define cluster
+// membership (paper Section 2: clustering decisions are the driving
+// operation's); follow_slots restricts the ordering BFS to the first N
+// slots of each object (e.g., the tree-child slots), so cross-cluster
+// edges do not interleave clusters.
+class ClusteringPlanner : public RelocationPlanner {
+ public:
+  ClusteringPlanner(ObjectStore* store, PartitionId destination,
+                    std::vector<ObjectId> roots,
+                    uint32_t follow_slots = UINT32_MAX)
+      : store_(store),
+        dest_(destination),
+        roots_(std::move(roots)),
+        follow_slots_(follow_slots) {}
+
+  PartitionId Target(ObjectId) override { return dest_; }
+  void Order(std::vector<ObjectId>* objects) override;
+
+ private:
+  ObjectStore* store_;
+  PartitionId dest_;
+  std::vector<ObjectId> roots_;
+  uint32_t follow_slots_;
+};
+
+// Schema evolution (paper Section 1's fourth driving operation): migrate
+// objects while reshaping them with a caller-provided function — grow the
+// payload, add reference slots, drop obsolete ones. Objects "no longer
+// fitting in their current location" get new locations as a side effect
+// of the move.
+class TransformPlanner : public RelocationPlanner {
+ public:
+  using TransformFn = std::function<void(
+      ObjectId, std::vector<ObjectId>*, std::vector<uint8_t>*)>;
+
+  TransformPlanner(PartitionId destination, TransformFn fn)
+      : dest_(destination), fn_(std::move(fn)) {}
+
+  PartitionId Target(ObjectId) override { return dest_; }
+  void Transform(ObjectId oid, std::vector<ObjectId>* refs,
+                 std::vector<uint8_t>* data) override {
+    fn_(oid, refs, data);
+  }
+
+ private:
+  PartitionId dest_;
+  TransformFn fn_;
+};
+
+// Migration statistics (also records the old -> new identity mapping).
+struct ReorgStats {
+  uint64_t objects_migrated = 0;
+  uint64_t garbage_collected = 0;
+  uint64_t bytes_moved = 0;
+  uint64_t find_exact_retries = 0;
+  uint64_t lock_timeouts = 0;
+  uint64_t trt_tuples_drained = 0;
+  uint64_t traversal_visited = 0;
+  uint64_t trt_peak_size = 0;
+  uint64_t max_distinct_objects_locked = 0;
+  double duration_ms = 0;
+  std::unordered_map<ObjectId, ObjectId> relocation;
+};
+
+// Move_Object_And_Update_Refs (paper Figure 5): copies oid to a fresh
+// location in target partition (via txn, which must be a reorg-source
+// transaction holding exclusive locks on every object in `parents`),
+// rewrites the references in all parents, keeps the ERTs of the old, new
+// and child partitions consistent, patches the parent lists of
+// not-yet-migrated children, renames oid in TRT parent fields, and frees
+// the old copy. On return *new_id holds O_new.
+Status MoveObjectAndUpdateRefs(const ReorgContext& ctx, Transaction* txn,
+                               ObjectId oid, RelocationPlanner* planner,
+                               const std::vector<ObjectId>& parents,
+                               PartitionId reorg_partition,
+                               const std::unordered_set<ObjectId>* migrated,
+                               ParentLists* plists, ReorgStats* stats,
+                               ObjectId* new_id);
+
+// Rewrites every slot of `parent` that references oid to reference onew
+// and keeps the affected ERTs consistent. txn must hold an exclusive lock
+// on parent. Sets *had_edge to whether any slot was rewritten.
+Status RewriteParentEdge(const ReorgContext& ctx, Transaction* txn,
+                         ObjectId parent, ObjectId oid, ObjectId onew,
+                         PartitionId reorg_partition, bool* had_edge);
+
+// Completes a migration whose parents have all been rewritten: patches
+// parent lists of not-yet-migrated children, updates the children's
+// partition ERTs, renames oid in TRT parent fields (after syncing the
+// analyzer so no late tuple is missed), and frees the old copy.
+// refs_of_old is the reference image copied from O_old.
+Status FinishMigration(const ReorgContext& ctx, Transaction* txn,
+                       ObjectId oid, ObjectId onew,
+                       const std::vector<ObjectId>& refs_of_old,
+                       PartitionId reorg_partition,
+                       const std::unordered_set<ObjectId>* migrated,
+                       ParentLists* plists, ReorgStats* stats);
+
+// True iff live object `parent` currently stores a reference to `child`
+// (checked under the parent's latch).
+bool IsParentOf(ObjectStore* store, ObjectId parent, ObjectId child);
+
+// Completes a migration the two-lock variant had in flight at a failure
+// (paper Section 4.2: after restart the database may hold references to
+// both O_old and O_new; both must be dealt with before transactions
+// resume). Call during restart recovery, on a quiescent database, for
+// each pair FindInterruptedMigrations reports: every remaining reference
+// to old_id is rewritten to new_id (found by a full scan — the quiescent
+// case needs no TRT) and the old copy is freed.
+Status CompleteInterruptedMigration(const ReorgContext& ctx, ObjectId old_id,
+                                    ObjectId new_id);
+
+}  // namespace brahma
+
+#endif  // BRAHMA_CORE_RELOCATION_H_

@@ -1,0 +1,108 @@
+#ifndef BRAHMA_CORE_REORG_CHECKPOINT_H_
+#define BRAHMA_CORE_REORG_CHECKPOINT_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/parent_lists.h"
+#include "core/trt.h"
+#include "storage/object_id.h"
+#include "wal/log_manager.h"
+
+namespace brahma {
+
+// Checkpointed reorganization state (paper Section 4.4): "if the loss of
+// work is unacceptable, the data structures Traversed_Objects and
+// Parent_Lists can be checkpointed periodically. In the event of a
+// failure, the TRT is reconstructed on the basis of the logs generated
+// after the IRA started [and] the last checkpoint ... can then be used to
+// reduce the work of Find_Objects_And_Approx_Parents."
+//
+// In this memory-resident reproduction the checkpoint is an in-memory
+// struct the caller keeps across the simulated crash (a disk-based system
+// would force it to stable storage).
+struct ReorgCheckpoint {
+  bool valid = false;
+  PartitionId partition = 0;
+  // Log position the TRT must be reconstructed from.
+  Lsn lsn = kInvalidLsn;
+  std::unordered_set<ObjectId> traversed;
+  std::vector<std::pair<ObjectId, ObjectId>> parents;  // (child, parent)
+  // Migrations already completed at checkpoint time (old -> new).
+  std::unordered_map<ObjectId, ObjectId> relocation;
+};
+
+// Reconstructs the TRT of `partition` by re-analyzing the stable log from
+// `from_lsn` (exclusive), exactly as the log analyzer would have noted
+// the records live. The TRT must already be enabled for the partition.
+inline void ReconstructTrt(LogManager* log, Lsn from_lsn, Trt* trt) {
+  auto note = [trt](TxnId txn, ObjectId parent, ObjectId old_child,
+                    ObjectId new_child) {
+    if (old_child.valid() && trt->EnabledFor(old_child.partition())) {
+      trt->NoteDelete(old_child, parent, txn);
+    }
+    if (new_child.valid() && trt->EnabledFor(new_child.partition())) {
+      trt->NoteInsert(new_child, parent, txn);
+    }
+  };
+  for (const LogRecord& rec : log->StableRecordsFrom(from_lsn + 1)) {
+    if (rec.source == LogSource::kReorg) continue;
+    switch (rec.type) {
+      case LogRecordType::kSetRef:
+        note(rec.txn, rec.oid, rec.old_ref, rec.new_ref);
+        break;
+      case LogRecordType::kCreate:
+        for (ObjectId r : rec.refs_image) {
+          note(rec.txn, rec.oid, ObjectId::Invalid(), r);
+        }
+        break;
+      case LogRecordType::kFree:
+        for (ObjectId r : rec.refs_image) {
+          note(rec.txn, rec.oid, r, ObjectId::Invalid());
+        }
+        break;
+      case LogRecordType::kClr:
+        switch (rec.compensates) {
+          case LogRecordType::kSetRef:
+            note(rec.txn, rec.oid, rec.old_ref, rec.new_ref);
+            break;
+          case LogRecordType::kFree:
+            for (ObjectId r : rec.refs_image) {
+              note(rec.txn, rec.oid, ObjectId::Invalid(), r);
+            }
+            break;
+          default:
+            break;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+// Migrations (old -> new) the log records after `from_lsn` — committed
+// reorg creations annotated with their source object. Used on resume to
+// patch checkpointed parent lists for migrations completed after the
+// checkpoint.
+inline std::unordered_map<ObjectId, ObjectId> PostCheckpointRelocations(
+    LogManager* log, Lsn from_lsn) {
+  std::unordered_set<TxnId> committed;
+  for (const LogRecord& rec : log->StableRecordsFrom(from_lsn + 1)) {
+    if (rec.type == LogRecordType::kCommit) committed.insert(rec.txn);
+  }
+  std::unordered_map<ObjectId, ObjectId> out;
+  for (const LogRecord& rec : log->StableRecordsFrom(from_lsn + 1)) {
+    if (rec.type == LogRecordType::kCreate &&
+        rec.source == LogSource::kReorg && rec.reorg_old.valid() &&
+        committed.count(rec.txn) > 0) {
+      out[rec.reorg_old] = rec.oid;
+    }
+  }
+  return out;
+}
+
+}  // namespace brahma
+
+#endif  // BRAHMA_CORE_REORG_CHECKPOINT_H_

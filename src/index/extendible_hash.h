@@ -1,0 +1,239 @@
+#ifndef BRAHMA_INDEX_EXTENDIBLE_HASH_H_
+#define BRAHMA_INDEX_EXTENDIBLE_HASH_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/latch.h"
+
+namespace brahma {
+
+// Concurrent extendible hash table with multimap semantics.
+//
+// Brahma implements the TRT and the ERT with extendible hash indices
+// (paper Section 5); this is that substrate. The directory doubles when a
+// bucket at maximal local depth overflows; buckets hold a small vector of
+// entries and split by redistributing on the next hash bit.
+//
+// Concurrency: a directory latch taken shared for reads/writes that do not
+// restructure, exclusive for splits/doubling; mutating bucket operations
+// additionally take the bucket latch. Readers of a bucket take its latch
+// shared. Latches are short-duration only (never held across user code
+// except the ForEach* callbacks, which must not re-enter the same table).
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ExtendibleHash {
+ public:
+  explicit ExtendibleHash(size_t bucket_capacity = 16)
+      : bucket_capacity_(bucket_capacity), global_depth_(1) {
+    directory_.resize(2);
+    directory_[0] = std::make_shared<Bucket>(1);
+    directory_[1] = std::make_shared<Bucket>(1);
+  }
+
+  ExtendibleHash(const ExtendibleHash&) = delete;
+  ExtendibleHash& operator=(const ExtendibleHash&) = delete;
+
+  // Inserts (key, value). Duplicate (key, value) pairs are allowed; the
+  // table is a multimap.
+  void Insert(const Key& key, const Value& value) {
+    uint64_t h = Hash{}(key);
+    for (int attempts = 0;; ++attempts) {
+      dir_latch_.LockShared();
+      std::shared_ptr<Bucket> bucket = BucketFor(h);
+      bucket->latch.LockExclusive();
+      // Append without splitting when there is room, when the bucket is a
+      // single-key overflow chain (splitting cannot separate one key —
+      // checked O(1) via first/last), or when splitting has already been
+      // tried: inserts stay O(1) even for very hot keys.
+      if (bucket->entries.size() < bucket_capacity_ ||
+          bucket->entries.front().key == bucket->entries.back().key ||
+          attempts >= 2) {
+        bucket->entries.push_back({key, value});
+        bucket->latch.UnlockExclusive();
+        dir_latch_.UnlockShared();
+        return;
+      }
+      bucket->latch.UnlockExclusive();
+      dir_latch_.UnlockShared();
+      SplitFor(h);
+    }
+  }
+
+  // Removes one occurrence of (key, value). Returns true if found.
+  bool EraseOne(const Key& key, const Value& value) {
+    uint64_t h = Hash{}(key);
+    SharedLatchGuard dir(&dir_latch_);
+    std::shared_ptr<Bucket> bucket = BucketFor(h);
+    ExclusiveLatchGuard g(&bucket->latch);
+    for (auto it = bucket->entries.begin(); it != bucket->entries.end();
+         ++it) {
+      if (it->key == key && it->value == value) {
+        bucket->entries.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Removes all entries with the given key; returns how many were removed.
+  size_t EraseKey(const Key& key) {
+    uint64_t h = Hash{}(key);
+    SharedLatchGuard dir(&dir_latch_);
+    std::shared_ptr<Bucket> bucket = BucketFor(h);
+    ExclusiveLatchGuard g(&bucket->latch);
+    size_t removed = 0;
+    auto it = bucket->entries.begin();
+    while (it != bucket->entries.end()) {
+      if (it->key == key) {
+        it = bucket->entries.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+
+  bool ContainsKey(const Key& key) const {
+    uint64_t h = Hash{}(key);
+    SharedLatchGuard dir(&dir_latch_);
+    std::shared_ptr<Bucket> bucket = BucketFor(h);
+    SharedLatchGuard g(&bucket->latch);
+    return ContainsUnlocked(*bucket, key);
+  }
+
+  // Invokes fn(value) for every value stored under key. The bucket latch
+  // is held shared for the duration; fn must not touch this table.
+  void ForEachValue(const Key& key, const std::function<void(const Value&)>& fn) const {
+    uint64_t h = Hash{}(key);
+    SharedLatchGuard dir(&dir_latch_);
+    std::shared_ptr<Bucket> bucket = BucketFor(h);
+    SharedLatchGuard g(&bucket->latch);
+    for (const auto& e : bucket->entries) {
+      if (e.key == key) fn(e.value);
+    }
+  }
+
+  // Returns a snapshot copy of the values under key.
+  std::vector<Value> Lookup(const Key& key) const {
+    std::vector<Value> out;
+    ForEachValue(key, [&out](const Value& v) { out.push_back(v); });
+    return out;
+  }
+
+  // Invokes fn(key, value) on a snapshot of all entries.
+  void ForEach(const std::function<void(const Key&, const Value&)>& fn) const {
+    std::vector<Entry> snapshot = Snapshot();
+    for (const auto& e : snapshot) fn(e.key, e.value);
+  }
+
+  size_t Size() const {
+    SharedLatchGuard dir(&dir_latch_);
+    size_t n = 0;
+    for (size_t i = 0; i < directory_.size(); ++i) {
+      // Count each distinct bucket once (directory slots alias buckets).
+      if (IsPrimarySlot(i)) {
+        SharedLatchGuard g(&directory_[i]->latch);
+        n += directory_[i]->entries.size();
+      }
+    }
+    return n;
+  }
+
+  void Clear() {
+    ExclusiveLatchGuard dir(&dir_latch_);
+    global_depth_ = 1;
+    directory_.assign(2, nullptr);
+    directory_[0] = std::make_shared<Bucket>(1);
+    directory_[1] = std::make_shared<Bucket>(1);
+  }
+
+  int global_depth() const {
+    SharedLatchGuard dir(&dir_latch_);
+    return global_depth_;
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+  };
+
+  struct Bucket {
+    explicit Bucket(int depth) : local_depth(depth) {}
+    int local_depth;
+    std::vector<Entry> entries;
+    mutable SharedLatch latch;
+  };
+
+  std::shared_ptr<Bucket> BucketFor(uint64_t h) const {
+    return directory_[h & ((uint64_t{1} << global_depth_) - 1)];
+  }
+
+  static bool ContainsUnlocked(const Bucket& b, const Key& key) {
+    for (const auto& e : b.entries) {
+      if (e.key == key) return true;
+    }
+    return false;
+  }
+
+  // True if slot i is the lowest directory index referencing its bucket.
+  bool IsPrimarySlot(size_t i) const {
+    int ld = directory_[i]->local_depth;
+    return (i & ((uint64_t{1} << ld) - 1)) == i;
+  }
+
+  // Splits the bucket responsible for hash h, doubling the directory if
+  // required. Caller must hold no latches.
+  void SplitFor(uint64_t h) {
+    ExclusiveLatchGuard dir(&dir_latch_);
+    size_t slot = h & ((uint64_t{1} << global_depth_) - 1);
+    std::shared_ptr<Bucket> old = directory_[slot];
+    if (old->entries.size() < bucket_capacity_) return;  // raced; retry insert
+    if (old->local_depth == global_depth_) {
+      // Double the directory.
+      size_t n = directory_.size();
+      directory_.resize(n * 2);
+      for (size_t i = 0; i < n; ++i) directory_[n + i] = directory_[i];
+      ++global_depth_;
+    }
+    int new_depth = old->local_depth + 1;
+    auto b0 = std::make_shared<Bucket>(new_depth);
+    auto b1 = std::make_shared<Bucket>(new_depth);
+    uint64_t bit = uint64_t{1} << old->local_depth;
+    for (const auto& e : old->entries) {
+      uint64_t eh = Hash{}(e.key);
+      (eh & bit ? b1 : b0)->entries.push_back(e);
+    }
+    // Re-point every directory slot that referenced the old bucket.
+    for (size_t i = 0; i < directory_.size(); ++i) {
+      if (directory_[i] == old) {
+        directory_[i] = (i & bit) ? b1 : b0;
+      }
+    }
+  }
+
+  std::vector<Entry> Snapshot() const {
+    SharedLatchGuard dir(&dir_latch_);
+    std::vector<Entry> out;
+    for (size_t i = 0; i < directory_.size(); ++i) {
+      if (IsPrimarySlot(i)) {
+        SharedLatchGuard g(&directory_[i]->latch);
+        out.insert(out.end(), directory_[i]->entries.begin(),
+                   directory_[i]->entries.end());
+      }
+    }
+    return out;
+  }
+
+  const size_t bucket_capacity_;
+  int global_depth_;
+  std::vector<std::shared_ptr<Bucket>> directory_;
+  mutable SharedLatch dir_latch_;
+};
+
+}  // namespace brahma
+
+#endif  // BRAHMA_INDEX_EXTENDIBLE_HASH_H_

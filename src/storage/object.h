@@ -1,0 +1,64 @@
+#ifndef BRAHMA_STORAGE_OBJECT_H_
+#define BRAHMA_STORAGE_OBJECT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+#include "common/latch.h"
+#include "storage/object_id.h"
+
+namespace brahma {
+
+// In-arena object layout:
+//
+//   ObjectHeader | ObjectId refs[num_refs] | uint8_t data[data_size] | pad
+//
+// The header embeds a short-duration latch that guarantees physical
+// consistency of the reference array while it is read or written (paper
+// Section 3.4: the fuzzy traversal latches an object only for the duration
+// of examining its outgoing references).
+struct ObjectHeader {
+  static constexpr uint32_t kLiveMagic = 0x0B0BEEF1;
+  static constexpr uint32_t kFreeMagic = 0xDEADF4EE;
+
+  uint32_t magic;
+  uint32_t block_size;  // total block bytes including header and padding
+  uint32_t num_refs;
+  uint32_t data_size;
+  uint64_t self;        // raw ObjectId of this object (identity check)
+  SharedLatch latch;    // physical-consistency latch (4 bytes)
+  uint32_t pad;
+
+  ObjectId* refs() {
+    return reinterpret_cast<ObjectId*>(reinterpret_cast<char*>(this) +
+                                       sizeof(ObjectHeader));
+  }
+  const ObjectId* refs() const {
+    return reinterpret_cast<const ObjectId*>(
+        reinterpret_cast<const char*>(this) + sizeof(ObjectHeader));
+  }
+  uint8_t* data() {
+    return reinterpret_cast<uint8_t*>(refs() + num_refs);
+  }
+  const uint8_t* data() const {
+    return reinterpret_cast<const uint8_t*>(refs() + num_refs);
+  }
+
+  ObjectId id() const { return ObjectId::FromRaw(self); }
+
+  bool IsLive() const { return magic == kLiveMagic; }
+
+  static uint32_t BlockSize(uint32_t num_refs, uint32_t data_size) {
+    uint32_t raw = static_cast<uint32_t>(sizeof(ObjectHeader)) +
+                   num_refs * static_cast<uint32_t>(sizeof(ObjectId)) +
+                   data_size;
+    return (raw + 7u) & ~7u;  // 8-byte alignment
+  }
+};
+
+static_assert(sizeof(ObjectHeader) % 8 == 0, "header must stay 8-aligned");
+
+}  // namespace brahma
+
+#endif  // BRAHMA_STORAGE_OBJECT_H_

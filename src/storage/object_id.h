@@ -1,0 +1,76 @@
+#ifndef BRAHMA_STORAGE_OBJECT_ID_H_
+#define BRAHMA_STORAGE_OBJECT_ID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace brahma {
+
+using PartitionId = uint16_t;
+
+// A *physical* object reference: the partition id in the top 16 bits and
+// the byte offset of the object within the partition's arena in the low
+// 48 bits. Dereferencing an ObjectId is a direct address computation with
+// no indirection table — which is exactly why migrating an object forces
+// every parent's stored reference to be rewritten (the problem the paper
+// solves). The partition of an object is inferable from the leftmost bits
+// of the identifier, as the paper assumes (Section 2, footnote 4).
+class ObjectId {
+ public:
+  constexpr ObjectId() : raw_(0) {}
+  constexpr ObjectId(PartitionId partition, uint64_t offset)
+      : raw_((static_cast<uint64_t>(partition) << 48) |
+             (offset & kOffsetMask)) {}
+
+  static constexpr ObjectId Invalid() { return ObjectId(); }
+  static constexpr ObjectId FromRaw(uint64_t raw) {
+    ObjectId id;
+    id.raw_ = raw;
+    return id;
+  }
+
+  bool valid() const { return raw_ != 0; }
+  PartitionId partition() const {
+    return static_cast<PartitionId>(raw_ >> 48);
+  }
+  uint64_t offset() const { return raw_ & kOffsetMask; }
+  uint64_t raw() const { return raw_; }
+
+  friend bool operator==(ObjectId a, ObjectId b) { return a.raw_ == b.raw_; }
+  friend bool operator!=(ObjectId a, ObjectId b) { return a.raw_ != b.raw_; }
+  friend bool operator<(ObjectId a, ObjectId b) { return a.raw_ < b.raw_; }
+
+  std::string ToString() const {
+    return "oid(" + std::to_string(partition()) + ":" +
+           std::to_string(offset()) + ")";
+  }
+
+ private:
+  static constexpr uint64_t kOffsetMask = (uint64_t{1} << 48) - 1;
+
+  uint64_t raw_;
+};
+
+struct ObjectIdHash {
+  size_t operator()(ObjectId id) const {
+    uint64_t x = id.raw();
+    x ^= x >> 33;
+    x *= uint64_t{0xFF51AFD7ED558CCD};
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+  }
+};
+
+}  // namespace brahma
+
+namespace std {
+template <>
+struct hash<brahma::ObjectId> {
+  size_t operator()(brahma::ObjectId id) const {
+    return brahma::ObjectIdHash{}(id);
+  }
+};
+}  // namespace std
+
+#endif  // BRAHMA_STORAGE_OBJECT_ID_H_

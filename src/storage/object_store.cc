@@ -1,0 +1,66 @@
+#include "storage/object_store.h"
+
+namespace brahma {
+
+ObjectStore::ObjectStore(uint32_t num_data_partitions,
+                         uint64_t partition_capacity) {
+  partitions_.reserve(num_data_partitions + 1);
+  for (uint32_t p = 0; p <= num_data_partitions; ++p) {
+    partitions_.push_back(std::make_unique<Partition>(
+        static_cast<PartitionId>(p), partition_capacity));
+  }
+}
+
+Status ObjectStore::CreateObject(PartitionId p, uint32_t num_refs,
+                                 uint32_t data_size, ObjectId* id) {
+  if (p >= partitions_.size()) {
+    return Status::InvalidArgument("bad partition");
+  }
+  uint64_t offset = 0;
+  Status s = partitions_[p]->Allocate(num_refs, data_size, &offset);
+  if (!s.ok()) return s;
+  *id = ObjectId(p, offset);
+  return Status::Ok();
+}
+
+Status ObjectStore::CreateObjectAt(ObjectId id, uint32_t num_refs,
+                                   uint32_t data_size) {
+  if (id.partition() >= partitions_.size()) {
+    return Status::InvalidArgument("bad partition");
+  }
+  return partitions_[id.partition()]->AllocateAt(id.offset(), num_refs,
+                                                 data_size);
+}
+
+Status ObjectStore::FreeObject(ObjectId id) {
+  if (id.partition() >= partitions_.size()) {
+    return Status::InvalidArgument("bad partition");
+  }
+  return partitions_[id.partition()]->Free(id.offset());
+}
+
+ObjectHeader* ObjectStore::Get(ObjectId id) {
+  if (!id.valid() || id.partition() >= partitions_.size()) return nullptr;
+  ObjectHeader* h = partitions_[id.partition()]->HeaderAt(id.offset());
+  if (h == nullptr || !h->IsLive() || h->self != id.raw()) return nullptr;
+  return h;
+}
+
+const ObjectHeader* ObjectStore::Get(ObjectId id) const {
+  if (!id.valid() || id.partition() >= partitions_.size()) return nullptr;
+  const ObjectHeader* h = partitions_[id.partition()]->HeaderAt(id.offset());
+  if (h == nullptr || !h->IsLive() || h->self != id.raw()) return nullptr;
+  return h;
+}
+
+bool ObjectStore::Validate(ObjectId id) const {
+  if (!id.valid() || id.partition() >= partitions_.size()) return false;
+  return partitions_[id.partition()]->ValidateObject(id);
+}
+
+Status ObjectStore::EnsurePersistentRoot(uint32_t num_refs) {
+  if (persistent_root_.valid()) return Status::Ok();
+  return CreateObject(/*p=*/0, num_refs, /*data_size=*/0, &persistent_root_);
+}
+
+}  // namespace brahma

@@ -1,0 +1,61 @@
+#ifndef BRAHMA_STORAGE_OBJECT_STORE_H_
+#define BRAHMA_STORAGE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/object.h"
+#include "storage/partition.h"
+
+namespace brahma {
+
+// The collection of partitions making up the database. Partition 0 is the
+// root partition: it holds the persistent root object (the paper assumes
+// the persistent root lives in a partition of its own, so that every
+// reference from it into a data partition appears in that partition's
+// ERT). Data partitions are 1..num_data_partitions.
+class ObjectStore {
+ public:
+  ObjectStore(uint32_t num_data_partitions, uint64_t partition_capacity);
+
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  uint32_t num_partitions() const {
+    return static_cast<uint32_t>(partitions_.size());
+  }
+  uint32_t num_data_partitions() const { return num_partitions() - 1; }
+
+  Partition& partition(PartitionId p) { return *partitions_[p]; }
+  const Partition& partition(PartitionId p) const { return *partitions_[p]; }
+
+  // Raw allocation / deallocation. Higher layers (Transaction, reorg) are
+  // responsible for WAL logging; these only touch the arena.
+  Status CreateObject(PartitionId p, uint32_t num_refs, uint32_t data_size,
+                      ObjectId* id);
+  Status CreateObjectAt(ObjectId id, uint32_t num_refs, uint32_t data_size);
+  Status FreeObject(ObjectId id);
+
+  // Returns the header for a live object with a matching identity, or
+  // nullptr if the reference is stale (freed / migrated / garbage).
+  ObjectHeader* Get(ObjectId id);
+  const ObjectHeader* Get(ObjectId id) const;
+
+  bool Validate(ObjectId id) const;
+
+  // The persistent root object. Created lazily by the first caller of
+  // EnsurePersistentRoot (with the requested fan-out).
+  Status EnsurePersistentRoot(uint32_t num_refs);
+  ObjectId persistent_root() const { return persistent_root_; }
+  void set_persistent_root(ObjectId id) { persistent_root_ = id; }
+
+ private:
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  ObjectId persistent_root_;
+};
+
+}  // namespace brahma
+
+#endif  // BRAHMA_STORAGE_OBJECT_STORE_H_

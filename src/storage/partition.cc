@@ -1,0 +1,229 @@
+#include "storage/partition.h"
+
+#include <cstring>
+#include <new>
+
+namespace brahma {
+
+Partition::Partition(PartitionId id, uint64_t capacity)
+    : id_(id), capacity_(capacity), arena_(new uint8_t[capacity]()) {}
+
+Status Partition::Allocate(uint32_t num_refs, uint32_t data_size,
+                           uint64_t* offset) {
+  const uint32_t block = ObjectHeader::BlockSize(num_refs, data_size);
+  std::lock_guard<std::mutex> g(mu_);
+  // First fit: lowest hole large enough.
+  for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+    if (it->second >= block) {
+      uint64_t off = it->first;
+      uint64_t hole = it->second;
+      free_list_.erase(it);
+      if (hole > block) {
+        // Remainder stays a hole, unless it is too small to ever hold an
+        // object — in which case we still track it (it can coalesce later).
+        free_list_.emplace(off + block, hole - block);
+      }
+      InitializeObject(off, num_refs, data_size);
+      *offset = off;
+      return Status::Ok();
+    }
+  }
+  // Extend the high-water mark.
+  if (high_water_ + block > capacity_) {
+    return Status::NoSpace("partition " + std::to_string(id_) + " full");
+  }
+  uint64_t off = high_water_;
+  high_water_ += block;
+  InitializeObject(off, num_refs, data_size);
+  *offset = off;
+  return Status::Ok();
+}
+
+Status Partition::AllocateAt(uint64_t offset, uint32_t num_refs,
+                             uint32_t data_size) {
+  const uint32_t block = ObjectHeader::BlockSize(num_refs, data_size);
+  std::lock_guard<std::mutex> g(mu_);
+  Status s = AllocateLocked(offset, block);
+  if (!s.ok()) return s;
+  InitializeObject(offset, num_refs, data_size);
+  return Status::Ok();
+}
+
+// Carves [offset, offset+block) out of free space (a hole or virgin space
+// above the high-water mark). Caller holds mu_.
+Status Partition::AllocateLocked(uint64_t offset, uint32_t block) {
+  if (offset + block > capacity_) return Status::NoSpace();
+  if (offset >= high_water_) {
+    // Virgin territory: everything in [high_water_, offset) becomes a hole.
+    if (offset > high_water_) {
+      FreeRangeLocked(high_water_, offset - high_water_);
+    }
+    high_water_ = offset + block;
+    return Status::Ok();
+  }
+  // Must lie inside an existing hole.
+  auto it = free_list_.upper_bound(offset);
+  if (it == free_list_.begin()) {
+    return Status::Corruption("AllocateAt target not free");
+  }
+  --it;
+  uint64_t hole_off = it->first;
+  uint64_t hole_size = it->second;
+  if (offset < hole_off || offset + block > hole_off + hole_size) {
+    return Status::Corruption("AllocateAt target not free");
+  }
+  free_list_.erase(it);
+  if (offset > hole_off) free_list_.emplace(hole_off, offset - hole_off);
+  uint64_t tail = (hole_off + hole_size) - (offset + block);
+  if (tail > 0) free_list_.emplace(offset + block, tail);
+  return Status::Ok();
+}
+
+void Partition::InitializeObject(uint64_t offset, uint32_t num_refs,
+                                 uint32_t data_size) {
+  ObjectHeader* h = new (arena_.get() + offset) ObjectHeader();
+  h->magic = ObjectHeader::kLiveMagic;
+  h->block_size = ObjectHeader::BlockSize(num_refs, data_size);
+  h->num_refs = num_refs;
+  h->data_size = data_size;
+  h->self = ObjectId(id_, offset).raw();
+  h->pad = 0;
+  for (uint32_t i = 0; i < num_refs; ++i) h->refs()[i] = ObjectId::Invalid();
+  std::memset(h->data(), 0, data_size);
+}
+
+Status Partition::Free(uint64_t offset) {
+  std::lock_guard<std::mutex> g(mu_);
+  ObjectHeader* h = HeaderAt(offset);
+  if (h == nullptr || !h->IsLive()) {
+    return Status::Corruption("Free of non-live block");
+  }
+  uint64_t size = h->block_size;
+  {
+    // Poison under the object latch so latched readers (fuzzy traversal,
+    // undo re-validation) never see a half-freed block.
+    ExclusiveLatchGuard lg(&h->latch);
+    h->magic = ObjectHeader::kFreeMagic;
+  }
+  FreeRangeLocked(offset, size);
+  return Status::Ok();
+}
+
+// Inserts a hole and coalesces with neighbours. Caller holds mu_.
+void Partition::FreeRangeLocked(uint64_t offset, uint64_t size) {
+  auto next = free_list_.lower_bound(offset);
+  // Coalesce with predecessor.
+  if (next != free_list_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == offset) {
+      offset = prev->first;
+      size += prev->second;
+      free_list_.erase(prev);
+    }
+  }
+  // Coalesce with successor.
+  if (next != free_list_.end() && offset + size == next->first) {
+    size += next->second;
+    free_list_.erase(next);
+  }
+  free_list_.emplace(offset, size);
+}
+
+ObjectHeader* Partition::HeaderAt(uint64_t offset) {
+  if (offset < kBaseOffset || offset + sizeof(ObjectHeader) > capacity_) {
+    return nullptr;
+  }
+  return reinterpret_cast<ObjectHeader*>(arena_.get() + offset);
+}
+
+const ObjectHeader* Partition::HeaderAt(uint64_t offset) const {
+  if (offset < kBaseOffset || offset + sizeof(ObjectHeader) > capacity_) {
+    return nullptr;
+  }
+  return reinterpret_cast<const ObjectHeader*>(arena_.get() + offset);
+}
+
+bool Partition::ValidateObject(ObjectId id) const {
+  const ObjectHeader* h = HeaderAt(id.offset());
+  return h != nullptr && h->IsLive() && h->self == id.raw();
+}
+
+void Partition::ForEachLiveObject(
+    const std::function<void(uint64_t)>& fn) const {
+  std::lock_guard<std::mutex> g(mu_);
+  uint64_t off = kBaseOffset;
+  while (off < high_water_) {
+    auto hole = free_list_.find(off);
+    if (hole != free_list_.end()) {
+      off += hole->second;
+      continue;
+    }
+    const ObjectHeader* h = HeaderAt(off);
+    if (h == nullptr || h->block_size == 0) break;  // corrupt; stop walking
+    if (h->IsLive()) fn(off);
+    off += h->block_size;
+  }
+}
+
+FragmentationStats Partition::GetFragmentationStats() const {
+  FragmentationStats out;
+  std::lock_guard<std::mutex> g(mu_);
+  out.capacity = capacity_;
+  out.high_water = high_water_;
+  for (const auto& [off, size] : free_list_) {
+    (void)off;
+    out.free_bytes += size;
+    out.largest_hole = std::max(out.largest_hole, size);
+    ++out.num_holes;
+  }
+  uint64_t off = kBaseOffset;
+  while (off < high_water_) {
+    auto hole = free_list_.find(off);
+    if (hole != free_list_.end()) {
+      off += hole->second;
+      continue;
+    }
+    const ObjectHeader* h = HeaderAt(off);
+    if (h == nullptr || h->block_size == 0) break;
+    if (h->IsLive()) {
+      out.live_bytes += h->block_size;
+      ++out.num_live_objects;
+    }
+    off += h->block_size;
+  }
+  return out;
+}
+
+Partition::Image Partition::Snapshot() const {
+  std::lock_guard<std::mutex> g(mu_);
+  Image img;
+  img.high_water = high_water_;
+  img.free_list = free_list_;
+  img.bytes.assign(arena_.get(), arena_.get() + high_water_);
+  return img;
+}
+
+void Partition::Restore(const Image& image) {
+  std::lock_guard<std::mutex> g(mu_);
+  std::memset(arena_.get(), 0, capacity_);
+  std::memcpy(arena_.get(), image.bytes.data(), image.bytes.size());
+  high_water_ = image.high_water;
+  free_list_ = image.free_list;
+  // Reset latch words: latches are volatile state and must come up free.
+  uint64_t off = kBaseOffset;
+  while (off < high_water_) {
+    auto hole = free_list_.find(off);
+    if (hole != free_list_.end()) {
+      off += hole->second;
+      continue;
+    }
+    ObjectHeader* h = HeaderAt(off);
+    if (h == nullptr || h->block_size == 0) break;
+    if (h->IsLive()) {
+      new (&h->latch) SharedLatch();
+    }
+    off += h->block_size;
+  }
+}
+
+}  // namespace brahma

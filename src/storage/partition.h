@@ -1,0 +1,111 @@
+#ifndef BRAHMA_STORAGE_PARTITION_H_
+#define BRAHMA_STORAGE_PARTITION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/object.h"
+#include "storage/object_id.h"
+
+namespace brahma {
+
+// Fragmentation summary of one partition arena (compaction is one of the
+// driving operations for reorganization, paper Section 1).
+struct FragmentationStats {
+  uint64_t capacity = 0;
+  uint64_t high_water = 0;      // end of the highest block ever allocated
+  uint64_t live_bytes = 0;
+  uint64_t free_bytes = 0;      // holes below the high-water mark
+  uint64_t largest_hole = 0;
+  uint64_t num_holes = 0;
+  uint64_t num_live_objects = 0;
+
+  // 0 = no fragmentation; 1 = free space maximally shattered.
+  double FragmentationRatio() const {
+    if (free_bytes == 0) return 0.0;
+    return 1.0 - static_cast<double>(largest_hole) /
+                     static_cast<double>(free_bytes);
+  }
+};
+
+// A fixed-capacity byte arena holding the objects of one database
+// partition. Allocation is first-fit over an ordered free list with
+// coalescing, which both models fragmentation realistically and lets
+// recovery re-place a block at an exact offset (AllocateAt) during redo.
+//
+// Thread safety: allocation/free/snapshot are serialized by an internal
+// mutex. Object contents are protected by the per-object latch in the
+// header, not by this class.
+class Partition {
+ public:
+  // Offsets start past kBaseOffset so that offset 0 never names an object
+  // (ObjectId 0 is the invalid reference).
+  static constexpr uint64_t kBaseOffset = 16;
+
+  Partition(PartitionId id, uint64_t capacity);
+
+  Partition(const Partition&) = delete;
+  Partition& operator=(const Partition&) = delete;
+
+  PartitionId id() const { return id_; }
+  uint64_t capacity() const { return capacity_; }
+
+  // Allocates a block for an object with the given shape; initializes the
+  // header (live, all refs invalid, data zeroed) and returns its offset.
+  Status Allocate(uint32_t num_refs, uint32_t data_size, uint64_t* offset);
+
+  // Allocates the exact range [offset, offset + block) — used by restart
+  // recovery to redo a creation at its original physical address.
+  Status AllocateAt(uint64_t offset, uint32_t num_refs, uint32_t data_size);
+
+  // Frees the live block at offset; the block is poisoned with the free
+  // magic and returned to the (coalesced) free list.
+  Status Free(uint64_t offset);
+
+  // Returns the header at offset, or nullptr if the offset is out of
+  // bounds. Does not check liveness; callers use IsLive()/self checks.
+  ObjectHeader* HeaderAt(uint64_t offset);
+  const ObjectHeader* HeaderAt(uint64_t offset) const;
+
+  // True iff offset names a live object whose self id matches.
+  bool ValidateObject(ObjectId id) const;
+
+  // Walks all live objects (by ascending offset) and calls fn(offset).
+  // Holds the allocation mutex for the duration; fn must not allocate or
+  // free in this partition.
+  void ForEachLiveObject(const std::function<void(uint64_t)>& fn) const;
+
+  FragmentationStats GetFragmentationStats() const;
+
+  // --- checkpoint support -------------------------------------------------
+  struct Image {
+    std::vector<uint8_t> bytes;   // arena contents up to high_water
+    std::map<uint64_t, uint64_t> free_list;
+    uint64_t high_water = 0;
+  };
+  Image Snapshot() const;
+  void Restore(const Image& image);
+
+ private:
+  Status AllocateLocked(uint64_t offset, uint32_t block);
+  void InitializeObject(uint64_t offset, uint32_t num_refs,
+                        uint32_t data_size);
+  void FreeRangeLocked(uint64_t offset, uint64_t size);
+
+  const PartitionId id_;
+  const uint64_t capacity_;
+  std::unique_ptr<uint8_t[]> arena_;
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, uint64_t> free_list_;  // offset -> hole size, coalesced
+  uint64_t high_water_ = kBaseOffset;
+};
+
+}  // namespace brahma
+
+#endif  // BRAHMA_STORAGE_PARTITION_H_

@@ -1,0 +1,178 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+
+namespace brahma {
+
+bool LockManager::TryGrant(LockEntry* entry) {
+  bool changed = false;
+  auto compatible_with_holders = [entry](const Request& r) {
+    for (const Request& q : entry->queue) {
+      if (q.txn == r.txn || !q.has_held) continue;
+      if (!Compatible(q.held, r.want)) return false;
+    }
+    return true;
+  };
+  // Pass 1: upgrades (current holders waiting for a stronger mode).
+  for (Request& r : entry->queue) {
+    if (r.waiting && r.has_held && compatible_with_holders(r)) {
+      r.held = r.want;
+      r.waiting = false;
+      changed = true;
+    }
+  }
+  // Pass 2: fresh waiters in FIFO order; stop at the first that cannot be
+  // granted so later arrivals do not barge past it.
+  for (Request& r : entry->queue) {
+    if (!r.waiting || r.has_held) continue;
+    if (!compatible_with_holders(r)) break;
+    r.has_held = true;
+    r.held = r.want;
+    r.waiting = false;
+    changed = true;
+    if (r.held == LockMode::kExclusive) break;
+  }
+  return changed;
+}
+
+Status LockManager::Acquire(TxnId txn, ObjectId oid, LockMode mode,
+                            std::chrono::milliseconds timeout) {
+  Shard& shard = ShardFor(oid);
+  std::unique_lock<std::mutex> l(shard.mu);
+  auto& entry_ptr = shard.entries[oid];
+  if (entry_ptr == nullptr) entry_ptr = std::make_shared<LockEntry>();
+  std::shared_ptr<LockEntry> entry = entry_ptr;
+
+  // Find an existing request from this transaction.
+  Request* mine = nullptr;
+  for (Request& r : entry->queue) {
+    if (r.txn == txn) {
+      mine = &r;
+      break;
+    }
+  }
+  if (mine != nullptr && mine->has_held) {
+    if (mine->held == LockMode::kExclusive || mine->held == mode) {
+      return Status::Ok();  // re-entrant; already strong enough
+    }
+    // Upgrade S -> X.
+    mine->want = LockMode::kExclusive;
+    mine->waiting = true;
+  } else if (mine == nullptr) {
+    entry->queue.push_back(
+        Request{txn, /*has_held=*/false, mode, mode, /*waiting=*/true});
+  } else {
+    // A waiting (not yet granted) request exists; strengthen it.
+    if (mode == LockMode::kExclusive) mine->want = LockMode::kExclusive;
+  }
+
+  if (TryGrant(entry.get())) entry->cv.notify_all();
+
+  auto is_granted = [&entry, txn]() {
+    for (const Request& r : entry->queue) {
+      if (r.txn == txn) return !r.waiting;
+    }
+    return false;
+  };
+
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!is_granted()) {
+    if (entry->cv.wait_until(l, deadline) == std::cv_status::timeout &&
+        !is_granted()) {
+      // Withdraw the request (keep any previously held mode on upgrade
+      // timeout) and wake others that may now be grantable.
+      for (auto it = entry->queue.begin(); it != entry->queue.end(); ++it) {
+        if (it->txn != txn) continue;
+        if (it->has_held) {
+          it->want = it->held;
+          it->waiting = false;
+        } else {
+          entry->queue.erase(it);
+        }
+        break;
+      }
+      if (TryGrant(entry.get())) entry->cv.notify_all();
+      if (entry->queue.empty()) shard.entries.erase(oid);
+      return Status::TimedOut("lock wait timeout on " + oid.ToString());
+    }
+  }
+
+  if (history_enabled_) shard.history[oid].insert(txn);
+  return Status::Ok();
+}
+
+void LockManager::Release(TxnId txn, ObjectId oid) {
+  Shard& shard = ShardFor(oid);
+  std::unique_lock<std::mutex> l(shard.mu);
+  auto it = shard.entries.find(oid);
+  if (it == shard.entries.end()) return;
+  std::shared_ptr<LockEntry> entry = it->second;
+  for (auto rit = entry->queue.begin(); rit != entry->queue.end(); ++rit) {
+    if (rit->txn == txn) {
+      entry->queue.erase(rit);
+      break;
+    }
+  }
+  if (entry->queue.empty()) {
+    shard.entries.erase(it);
+    return;
+  }
+  if (TryGrant(entry.get())) entry->cv.notify_all();
+}
+
+bool LockManager::IsHeld(TxnId txn, ObjectId oid, LockMode* mode) const {
+  const Shard& shard = ShardFor(oid);
+  std::unique_lock<std::mutex> l(shard.mu);
+  auto it = shard.entries.find(oid);
+  if (it == shard.entries.end()) return false;
+  for (const Request& r : it->second->queue) {
+    if (r.txn == txn && r.has_held) {
+      if (mode != nullptr) *mode = r.held;
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t LockManager::NumLockedObjects() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::unique_lock<std::mutex> l(shard.mu);
+    n += shard.entries.size();
+  }
+  return n;
+}
+
+std::vector<TxnId> LockManager::HistoricalHolders(ObjectId oid,
+                                                  TxnId except) const {
+  const Shard& shard = ShardFor(oid);
+  std::unique_lock<std::mutex> l(shard.mu);
+  std::vector<TxnId> out;
+  auto it = shard.history.find(oid);
+  if (it == shard.history.end()) return out;
+  for (TxnId t : it->second) {
+    if (t != except) out.push_back(t);
+  }
+  return out;
+}
+
+void LockManager::ClearAllState() {
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::mutex> l(shard.mu);
+    shard.entries.clear();
+    shard.history.clear();
+  }
+}
+
+void LockManager::ForgetTxn(TxnId txn, const std::vector<ObjectId>& touched) {
+  for (ObjectId oid : touched) {
+    Shard& shard = ShardFor(oid);
+    std::unique_lock<std::mutex> l(shard.mu);
+    auto it = shard.history.find(oid);
+    if (it == shard.history.end()) continue;
+    it->second.erase(txn);
+    if (it->second.empty()) shard.history.erase(it);
+  }
+}
+
+}  // namespace brahma

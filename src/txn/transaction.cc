@@ -1,0 +1,322 @@
+#include "txn/transaction.h"
+
+#include <cstring>
+
+#include "txn/transaction_manager.h"
+
+namespace brahma {
+
+Transaction::~Transaction() {
+  if (state_ == State::kActive) {
+    Abort();
+  }
+}
+
+Status Transaction::Lock(ObjectId oid, LockMode mode) {
+  return LockWithTimeout(oid, mode, ctx_.lock_timeout);
+}
+
+Status Transaction::LockWithTimeout(ObjectId oid, LockMode mode,
+                                    std::chrono::milliseconds timeout) {
+  if (state_ != State::kActive) return Status::Aborted("txn not active");
+  Status s = ctx_.locks->Acquire(id_, oid, mode, timeout);
+  if (!s.ok()) return s;
+  if (held_.insert(oid).second) ever_locked_.push_back(oid);
+  return Status::Ok();
+}
+
+void Transaction::Unlock(ObjectId oid) {
+  if (held_.erase(oid) > 0) {
+    ctx_.locks->Release(id_, oid);
+  }
+}
+
+Status Transaction::RequireHeld(ObjectId oid, LockMode min_mode) const {
+  LockMode held;
+  if (!ctx_.locks->IsHeld(id_, oid, &held)) {
+    return Status::Internal("object accessed without lock: " +
+                            oid.ToString());
+  }
+  if (min_mode == LockMode::kExclusive && held != LockMode::kExclusive) {
+    return Status::Internal("exclusive access under shared lock: " +
+                            oid.ToString());
+  }
+  return Status::Ok();
+}
+
+ObjectHeader* Transaction::GetLive(ObjectId oid) const {
+  return ctx_.store->Get(oid);
+}
+
+Lsn Transaction::AppendOwn(LogRecord rec) {
+  rec.txn = id_;
+  rec.source = source_;
+  rec.prev_lsn = last_lsn_;
+  last_lsn_ = ctx_.log->Append(std::move(rec));
+  if (first_lsn_.load(std::memory_order_relaxed) == kInvalidLsn) {
+    first_lsn_.store(last_lsn_, std::memory_order_release);
+  }
+  return last_lsn_;
+}
+
+Status Transaction::ReadRefs(ObjectId oid, std::vector<ObjectId>* out) {
+  Status s = RequireHeld(oid, LockMode::kShared);
+  if (!s.ok()) return s;
+  ObjectHeader* h = GetLive(oid);
+  if (h == nullptr) return Status::Aborted("stale reference " + oid.ToString());
+  out->clear();
+  {
+    SharedLatchGuard g(&h->latch);
+    out->assign(h->refs(), h->refs() + h->num_refs);
+  }
+  for (ObjectId r : *out) {
+    if (r.valid()) local_refs_.push_back(r);
+  }
+  return Status::Ok();
+}
+
+Status Transaction::ReadRef(ObjectId oid, uint32_t slot, ObjectId* out) {
+  Status s = RequireHeld(oid, LockMode::kShared);
+  if (!s.ok()) return s;
+  ObjectHeader* h = GetLive(oid);
+  if (h == nullptr) return Status::Aborted("stale reference " + oid.ToString());
+  if (slot >= h->num_refs) return Status::InvalidArgument("bad slot");
+  {
+    SharedLatchGuard g(&h->latch);
+    *out = h->refs()[slot];
+  }
+  if (out->valid()) local_refs_.push_back(*out);
+  return Status::Ok();
+}
+
+Status Transaction::ReadData(ObjectId oid, std::vector<uint8_t>* out) {
+  Status s = RequireHeld(oid, LockMode::kShared);
+  if (!s.ok()) return s;
+  ObjectHeader* h = GetLive(oid);
+  if (h == nullptr) return Status::Aborted("stale reference " + oid.ToString());
+  SharedLatchGuard g(&h->latch);
+  out->assign(h->data(), h->data() + h->data_size);
+  return Status::Ok();
+}
+
+Status Transaction::SetRef(ObjectId oid, uint32_t slot, ObjectId new_ref) {
+  Status s = RequireHeld(oid, LockMode::kExclusive);
+  if (!s.ok()) return s;
+  ObjectHeader* h = GetLive(oid);
+  if (h == nullptr) return Status::Aborted("stale reference " + oid.ToString());
+  if (slot >= h->num_refs) return Status::InvalidArgument("bad slot");
+  SharedLatchGuard ck(ctx_.checkpoint_latch);
+  ExclusiveLatchGuard g(&h->latch);
+  ObjectId old_ref = h->refs()[slot];
+  if (old_ref == new_ref) return Status::Ok();
+  // WAL: the pointer delete is noted (via the log analyzer) before the
+  // pointer is actually deleted (paper Section 3.3).
+  LogRecord rec;
+  rec.type = LogRecordType::kSetRef;
+  rec.oid = oid;
+  rec.slot = slot;
+  rec.old_ref = old_ref;
+  rec.new_ref = new_ref;
+  AppendOwn(std::move(rec));
+  h->refs()[slot] = new_ref;
+  return Status::Ok();
+}
+
+Status Transaction::WriteData(ObjectId oid, const std::vector<uint8_t>& bytes) {
+  Status s = RequireHeld(oid, LockMode::kExclusive);
+  if (!s.ok()) return s;
+  ObjectHeader* h = GetLive(oid);
+  if (h == nullptr) return Status::Aborted("stale reference " + oid.ToString());
+  if (bytes.size() != h->data_size) {
+    return Status::InvalidArgument("data size mismatch");
+  }
+  SharedLatchGuard ck(ctx_.checkpoint_latch);
+  ExclusiveLatchGuard g(&h->latch);
+  LogRecord rec;
+  rec.type = LogRecordType::kUpdateData;
+  rec.oid = oid;
+  rec.old_data.assign(h->data(), h->data() + h->data_size);
+  rec.new_data = bytes;
+  AppendOwn(std::move(rec));
+  std::memcpy(h->data(), bytes.data(), bytes.size());
+  return Status::Ok();
+}
+
+Status Transaction::CreateObject(PartitionId p, uint32_t num_refs,
+                                 uint32_t data_size, ObjectId* out) {
+  std::vector<ObjectId> refs(num_refs, ObjectId::Invalid());
+  std::vector<uint8_t> data(data_size, 0);
+  return CreateObjectWithContents(p, refs, data, out);
+}
+
+Status Transaction::CreateObjectWithContents(
+    PartitionId p, const std::vector<ObjectId>& refs,
+    const std::vector<uint8_t>& data, ObjectId* out, ObjectId reorg_old) {
+  if (state_ != State::kActive) return Status::Aborted("txn not active");
+  SharedLatchGuard ck(ctx_.checkpoint_latch);
+  ObjectId oid;
+  Status s = ctx_.store->CreateObject(p, static_cast<uint32_t>(refs.size()),
+                                      static_cast<uint32_t>(data.size()),
+                                      &oid);
+  if (!s.ok()) return s;
+  ObjectHeader* h = ctx_.store->Get(oid);
+  LogRecord rec;
+  rec.type = LogRecordType::kCreate;
+  rec.oid = oid;
+  rec.num_refs = h->num_refs;
+  rec.data_size = h->data_size;
+  rec.refs_image = refs;
+  rec.new_data = data;
+  rec.reorg_old = reorg_old;
+  AppendOwn(std::move(rec));
+  for (uint32_t i = 0; i < h->num_refs; ++i) h->refs()[i] = refs[i];
+  if (!data.empty()) std::memcpy(h->data(), data.data(), data.size());
+  // The creator owns the object until it completes.
+  Status ls = ctx_.locks->Acquire(id_, oid, LockMode::kExclusive,
+                                  ctx_.lock_timeout);
+  if (ls.ok() && held_.insert(oid).second) ever_locked_.push_back(oid);
+  *out = oid;
+  return Status::Ok();
+}
+
+Status Transaction::FreeObject(ObjectId oid) {
+  Status s = RequireHeld(oid, LockMode::kExclusive);
+  // The reorganizer frees O_old without locking it (no transaction can
+  // reach it once all parents are locked, paper Section 3.5) — allow
+  // lock-free frees for reorg transactions.
+  if (!s.ok() && source_ != LogSource::kReorg) return s;
+  ObjectHeader* h = GetLive(oid);
+  if (h == nullptr) return Status::Aborted("stale reference " + oid.ToString());
+  SharedLatchGuard ck(ctx_.checkpoint_latch);
+  LogRecord rec;
+  rec.type = LogRecordType::kFree;
+  rec.oid = oid;
+  rec.num_refs = h->num_refs;
+  rec.data_size = h->data_size;
+  rec.refs_image.assign(h->refs(), h->refs() + h->num_refs);
+  rec.old_data.assign(h->data(), h->data() + h->data_size);
+  AppendOwn(std::move(rec));
+  return ctx_.store->FreeObject(oid);
+}
+
+Status Transaction::Commit() {
+  if (state_ != State::kActive) return Status::Aborted("txn not active");
+  LogRecord rec;
+  rec.type = LogRecordType::kCommit;
+  Lsn lsn = AppendOwn(std::move(rec));
+  ctx_.log->Flush(lsn);
+  state_ = State::kCommitted;
+  mgr_->OnComplete(this, /*committed=*/true);
+  return Status::Ok();
+}
+
+Status Transaction::Abort() {
+  if (state_ != State::kActive) return Status::Aborted("txn not active");
+  UndoToEnd();
+  LogRecord rec;
+  rec.type = LogRecordType::kAbort;
+  AppendOwn(std::move(rec));
+  state_ = State::kAborted;
+  mgr_->OnComplete(this, /*committed=*/false);
+  return Status::Ok();
+}
+
+// Applies undo for every update of this transaction, newest first,
+// appending a compensation record per undone action. CLR payloads
+// describe the compensating (i.e., applied) action so the log analyzer
+// and recovery redo treat them exactly like forward records — an abort
+// that reintroduces a deleted reference is an insertion (Section 4.5).
+void Transaction::UndoToEnd() {
+  Lsn cursor = last_lsn_;
+  while (cursor != kInvalidLsn) {
+    LogRecord rec;
+    if (!ctx_.log->GetRecord(cursor, &rec)) break;
+    Lsn next = rec.prev_lsn;
+    switch (rec.type) {
+      case LogRecordType::kSetRef: {
+        ObjectHeader* h = GetLive(rec.oid);
+        if (h != nullptr) {
+          SharedLatchGuard ck(ctx_.checkpoint_latch);
+          ExclusiveLatchGuard g(&h->latch);
+          // Re-validate under the latch: with early lock release
+          // (Section 4.1) the object may have been migrated away between
+          // the lookup and here; undoing into a freed block would corrupt
+          // a later allocation.
+          if (!h->IsLive() || h->self != rec.oid.raw()) break;
+          LogRecord clr;
+          clr.type = LogRecordType::kClr;
+          clr.compensates = LogRecordType::kSetRef;
+          clr.oid = rec.oid;
+          clr.slot = rec.slot;
+          clr.old_ref = rec.new_ref;  // compensating action: new -> old
+          clr.new_ref = rec.old_ref;
+          clr.undo_next_lsn = next;
+          AppendOwn(std::move(clr));
+          h->refs()[rec.slot] = rec.old_ref;
+        }
+        break;
+      }
+      case LogRecordType::kUpdateData: {
+        ObjectHeader* h = GetLive(rec.oid);
+        if (h != nullptr) {
+          SharedLatchGuard ck(ctx_.checkpoint_latch);
+          ExclusiveLatchGuard g(&h->latch);
+          if (!h->IsLive() || h->self != rec.oid.raw()) break;
+          LogRecord clr;
+          clr.type = LogRecordType::kClr;
+          clr.compensates = LogRecordType::kUpdateData;
+          clr.oid = rec.oid;
+          clr.old_data = rec.new_data;
+          clr.new_data = rec.old_data;
+          clr.undo_next_lsn = next;
+          AppendOwn(std::move(clr));
+          std::memcpy(h->data(), rec.old_data.data(), rec.old_data.size());
+        }
+        break;
+      }
+      case LogRecordType::kCreate: {
+        SharedLatchGuard ck(ctx_.checkpoint_latch);
+        LogRecord clr;
+        clr.type = LogRecordType::kClr;
+        clr.compensates = LogRecordType::kCreate;
+        clr.oid = rec.oid;
+        clr.num_refs = rec.num_refs;
+        clr.data_size = rec.data_size;
+        clr.undo_next_lsn = next;
+        AppendOwn(std::move(clr));
+        ctx_.store->FreeObject(rec.oid);
+        break;
+      }
+      case LogRecordType::kFree: {
+        SharedLatchGuard ck(ctx_.checkpoint_latch);
+        LogRecord clr;
+        clr.type = LogRecordType::kClr;
+        clr.compensates = LogRecordType::kFree;
+        clr.oid = rec.oid;
+        clr.num_refs = rec.num_refs;
+        clr.data_size = rec.data_size;
+        clr.refs_image = rec.refs_image;
+        clr.new_data = rec.old_data;
+        clr.undo_next_lsn = next;
+        AppendOwn(std::move(clr));
+        Status s = ctx_.store->CreateObjectAt(rec.oid, rec.num_refs,
+                                              rec.data_size);
+        if (s.ok()) {
+          ObjectHeader* h = ctx_.store->Get(rec.oid);
+          for (uint32_t i = 0; i < rec.num_refs; ++i) {
+            h->refs()[i] = rec.refs_image[i];
+          }
+          if (rec.data_size > 0) {
+            std::memcpy(h->data(), rec.old_data.data(), rec.data_size);
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    cursor = next;
+  }
+}
+
+}  // namespace brahma

@@ -1,0 +1,135 @@
+#ifndef BRAHMA_TXN_TRANSACTION_H_
+#define BRAHMA_TXN_TRANSACTION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/status.h"
+#include "storage/object_store.h"
+#include "txn/lock_manager.h"
+#include "wal/log_manager.h"
+#include "wal/log_record.h"
+
+namespace brahma {
+
+class TransactionManager;
+
+// Shared wiring a transaction needs to do its work.
+struct TxnContext {
+  ObjectStore* store = nullptr;
+  LogManager* log = nullptr;
+  LockManager* locks = nullptr;
+  // Mutators hold this shared around each (log append, apply) pair so a
+  // checkpoint (exclusive) sees an arena image consistent with its LSN.
+  SharedLatch* checkpoint_latch = nullptr;
+  std::chrono::milliseconds lock_timeout{1000};
+  bool strict_2pl = true;
+};
+
+// A transaction against the object store.
+//
+// Per the paper's model (Section 2): a transaction obtains references
+// only by following references from the persistent root (or objects it
+// created); having locked an object it may copy references out of it,
+// delete references out of it, and insert references into it, without
+// locking the referenced objects. All updates follow the WAL protocol —
+// the undo value is logged before the update is applied.
+//
+// Not thread-safe: a transaction belongs to one worker thread.
+class Transaction {
+ public:
+  enum class State { kActive, kCommitted, kAborted };
+
+  ~Transaction();
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  TxnId id() const { return id_; }
+  LogSource source() const { return source_; }
+  State state() const { return state_; }
+
+  // --- locking -----------------------------------------------------------
+  Status Lock(ObjectId oid, LockMode mode);
+  Status LockWithTimeout(ObjectId oid, LockMode mode,
+                         std::chrono::milliseconds timeout);
+  // Early release (legal for non-strict-2PL transactions, and used by the
+  // reorganizer to prune stale approximate parents, paper Figure 4).
+  void Unlock(ObjectId oid);
+  bool Holds(ObjectId oid) const { return held_.count(oid) > 0; }
+  size_t num_locks_held() const { return held_.size(); }
+  std::vector<ObjectId> held_locks() const {
+    return {held_.begin(), held_.end()};
+  }
+
+  // --- reads (require a lock in any mode) --------------------------------
+  Status ReadRefs(ObjectId oid, std::vector<ObjectId>* out);
+  Status ReadRef(ObjectId oid, uint32_t slot, ObjectId* out);
+  Status ReadData(ObjectId oid, std::vector<uint8_t>* out);
+
+  // --- updates (require an exclusive lock) --------------------------------
+  // Sets refs[slot] = new_ref. Covers both pointer insert (slot was
+  // invalid) and pointer delete (new_ref invalid).
+  Status SetRef(ObjectId oid, uint32_t slot, ObjectId new_ref);
+  Status WriteData(ObjectId oid, const std::vector<uint8_t>& bytes);
+
+  // Creates an object (locked X by this transaction).
+  Status CreateObject(PartitionId p, uint32_t num_refs, uint32_t data_size,
+                      ObjectId* out);
+  // Creates an object pre-filled with the given references and data in a
+  // single logged action (used by the reorganizer to produce O_new).
+  Status CreateObjectWithContents(PartitionId p,
+                                  const std::vector<ObjectId>& refs,
+                                  const std::vector<uint8_t>& data,
+                                  ObjectId* out,
+                                  ObjectId reorg_old = ObjectId::Invalid());
+  // Frees an object, logging full undo images.
+  Status FreeObject(ObjectId oid);
+
+  // --- completion ----------------------------------------------------------
+  Status Commit();
+  Status Abort();
+
+  // Transaction-local memory: references the transaction has copied out
+  // of objects (paper Section 2). Maintained by ReadRefs/ReadRef and used
+  // by workloads to pick legal reference targets.
+  std::vector<ObjectId>& local_refs() { return local_refs_; }
+
+  // LSN of this transaction's first log record (invalid if none yet).
+  // Log truncation must retain everything from here on for undo.
+  Lsn first_lsn() const {
+    return first_lsn_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class TransactionManager;
+
+  Transaction(TransactionManager* mgr, TxnContext ctx, TxnId id,
+              LogSource source)
+      : mgr_(mgr), ctx_(ctx), id_(id), source_(source) {}
+
+  Status RequireHeld(ObjectId oid, LockMode min_mode) const;
+  ObjectHeader* GetLive(ObjectId oid) const;
+  Lsn AppendOwn(LogRecord rec);
+  void UndoToEnd();
+
+  TransactionManager* mgr_;
+  TxnContext ctx_;
+  TxnId id_;
+  LogSource source_;
+  State state_ = State::kActive;
+  // Read by the log truncation path from other threads.
+  std::atomic<Lsn> first_lsn_{kInvalidLsn};
+  Lsn last_lsn_ = kInvalidLsn;
+
+  std::unordered_set<ObjectId> held_;
+  std::vector<ObjectId> ever_locked_;
+  std::vector<ObjectId> local_refs_;
+};
+
+}  // namespace brahma
+
+#endif  // BRAHMA_TXN_TRANSACTION_H_

@@ -1,0 +1,79 @@
+#include "txn/transaction_manager.h"
+
+#include <algorithm>
+
+namespace brahma {
+
+std::unique_ptr<Transaction> TransactionManager::Begin(LogSource source) {
+  TxnId id = next_id_.fetch_add(1);
+  auto txn =
+      std::unique_ptr<Transaction>(new Transaction(this, ctx_, id, source));
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    active_.insert(id);
+    registry_[id] = txn.get();
+  }
+  return txn;
+}
+
+Lsn TransactionManager::MinActiveFirstLsn() const {
+  std::lock_guard<std::mutex> g(mu_);
+  Lsn min_lsn = kInvalidLsn;
+  for (const auto& [id, txn] : registry_) {
+    (void)id;
+    Lsn f = txn->first_lsn();
+    if (f != kInvalidLsn && (min_lsn == kInvalidLsn || f < min_lsn)) {
+      min_lsn = f;
+    }
+  }
+  return min_lsn;
+}
+
+std::vector<TxnId> TransactionManager::ActiveTxns() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return {active_.begin(), active_.end()};
+}
+
+bool TransactionManager::IsActive(TxnId id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  return active_.count(id) > 0;
+}
+
+void TransactionManager::WaitForTxn(TxnId id) {
+  std::unique_lock<std::mutex> l(mu_);
+  cv_.wait(l, [this, id]() { return active_.count(id) == 0; });
+}
+
+void TransactionManager::WaitForAll(const std::vector<TxnId>& ids) {
+  for (TxnId id : ids) WaitForTxn(id);
+}
+
+void TransactionManager::Reset() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    active_.clear();
+    registry_.clear();
+  }
+  cv_.notify_all();
+}
+
+void TransactionManager::OnComplete(Transaction* txn, bool committed) {
+  if (completion_hook_) completion_hook_(txn->id(), committed);
+  if (ctx_.locks->history_enabled()) {
+    ctx_.locks->ForgetTxn(txn->id(), txn->ever_locked_);
+  }
+  // Release locks before declaring the transaction complete: a waiter in
+  // WaitForTxn must be able to lock whatever the transaction held.
+  for (ObjectId oid : txn->held_) {
+    ctx_.locks->Release(txn->id(), oid);
+  }
+  txn->held_.clear();
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    active_.erase(txn->id());
+    registry_.erase(txn->id());
+  }
+  cv_.notify_all();
+}
+
+}  // namespace brahma

@@ -1,0 +1,76 @@
+#ifndef BRAHMA_TXN_TRANSACTION_MANAGER_H_
+#define BRAHMA_TXN_TRANSACTION_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "txn/transaction.h"
+
+namespace brahma {
+
+// Creates transactions, tracks the active set, and notifies on
+// completion. The reorganizer uses the active-set snapshot + wait to
+// implement the paper's quiesce barrier ("the reorganization process
+// waits for all transactions that are active at the time it started to
+// complete, before starting the fuzzy traversal", Section 4.5) and the
+// Section 4.1 wait-for-historical-lockers extension.
+class TransactionManager {
+ public:
+  explicit TransactionManager(TxnContext ctx) : ctx_(ctx) {}
+
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  std::unique_ptr<Transaction> Begin(LogSource source = LogSource::kUser);
+
+  // Snapshot of currently active transaction ids.
+  std::vector<TxnId> ActiveTxns() const;
+
+  // Smallest first-record LSN among active transactions (their undo needs
+  // the log from there on); kInvalidLsn if none has logged anything.
+  Lsn MinActiveFirstLsn() const;
+
+  bool IsActive(TxnId id) const;
+
+  // Blocks until txn is no longer active (returns immediately if unknown).
+  void WaitForTxn(TxnId id);
+  void WaitForAll(const std::vector<TxnId>& ids);
+
+  // Hook invoked (synchronously, before lock release) whenever a
+  // transaction commits or aborts; used for TRT purging (Section 4.5).
+  void SetCompletionHook(std::function<void(TxnId, bool /*committed*/)> fn) {
+    completion_hook_ = std::move(fn);
+  }
+
+  const TxnContext& ctx() const { return ctx_; }
+
+  // Crash simulation: forgets all active transactions (their effects are
+  // rolled back by restart recovery, not by in-memory undo). Outstanding
+  // Transaction objects must not be used afterwards.
+  void Reset();
+
+ private:
+  friend class Transaction;
+
+  // Called by Transaction at the end of commit/abort processing.
+  void OnComplete(Transaction* txn, bool committed);
+
+  TxnContext ctx_;
+  std::function<void(TxnId, bool)> completion_hook_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_set<TxnId> active_;
+  std::unordered_map<TxnId, Transaction*> registry_;
+  std::atomic<TxnId> next_id_{1};
+};
+
+}  // namespace brahma
+
+#endif  // BRAHMA_TXN_TRANSACTION_MANAGER_H_

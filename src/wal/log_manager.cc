@@ -1,0 +1,87 @@
+#include "wal/log_manager.h"
+
+#include <algorithm>
+
+namespace brahma {
+
+Lsn LogManager::Append(LogRecord record) {
+  std::unique_lock<std::mutex> l(mu_);
+  record.lsn = next_lsn_++;
+  Lsn lsn = record.lsn;
+  records_.push_back(record);
+  if (observer_) observer_(records_.back());
+  return lsn;
+}
+
+void LogManager::Flush(Lsn target) {
+  bool advanced = false;
+  {
+    std::unique_lock<std::mutex> l(mu_);
+    if (target > stable_lsn_) {
+      stable_lsn_ = std::min(target, next_lsn_ - 1);
+      advanced = true;
+    }
+  }
+  if (advanced && flush_latency_.count() > 0) {
+    std::this_thread::sleep_for(flush_latency_);
+  }
+}
+
+Lsn LogManager::last_lsn() const {
+  std::unique_lock<std::mutex> l(mu_);
+  return next_lsn_ - 1;
+}
+
+Lsn LogManager::stable_lsn() const {
+  std::unique_lock<std::mutex> l(mu_);
+  return stable_lsn_;
+}
+
+Lsn LogManager::ReadAfter(Lsn after, std::vector<LogRecord>* out) const {
+  std::unique_lock<std::mutex> l(mu_);
+  Lsn from = std::max(after + 1, first_lsn_);
+  Lsn hi = next_lsn_ - 1;
+  for (Lsn lsn = from; lsn <= hi; ++lsn) {
+    out->push_back(records_[lsn - first_lsn_]);
+  }
+  return hi;
+}
+
+bool LogManager::GetRecord(Lsn lsn, LogRecord* out) const {
+  std::unique_lock<std::mutex> l(mu_);
+  if (lsn < first_lsn_ || lsn >= next_lsn_) return false;
+  *out = records_[lsn - first_lsn_];
+  return true;
+}
+
+void LogManager::DiscardUnflushed() {
+  std::unique_lock<std::mutex> l(mu_);
+  while (!records_.empty() && records_.back().lsn > stable_lsn_) {
+    records_.pop_back();
+  }
+  next_lsn_ = stable_lsn_ + 1;
+}
+
+std::vector<LogRecord> LogManager::StableRecordsFrom(Lsn from) const {
+  std::unique_lock<std::mutex> l(mu_);
+  std::vector<LogRecord> out;
+  for (const LogRecord& r : records_) {
+    if (r.lsn >= from && r.lsn <= stable_lsn_) out.push_back(r);
+  }
+  return out;
+}
+
+size_t LogManager::NumRecords() const {
+  std::unique_lock<std::mutex> l(mu_);
+  return records_.size();
+}
+
+void LogManager::Truncate(Lsn upto) {
+  std::unique_lock<std::mutex> l(mu_);
+  while (!records_.empty() && records_.front().lsn < upto) {
+    records_.pop_front();
+    ++first_lsn_;
+  }
+}
+
+}  // namespace brahma

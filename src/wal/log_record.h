@@ -1,0 +1,83 @@
+#ifndef BRAHMA_WAL_LOG_RECORD_H_
+#define BRAHMA_WAL_LOG_RECORD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/object_id.h"
+
+namespace brahma {
+
+using Lsn = uint64_t;
+using TxnId = uint64_t;
+
+constexpr Lsn kInvalidLsn = 0;
+constexpr TxnId kInvalidTxn = 0;
+
+enum class LogRecordType : uint8_t {
+  kBegin,
+  kCommit,
+  kAbort,       // abort complete (all undo applied)
+  kSetRef,      // refs[slot]: old_ref -> new_ref (covers insert & delete)
+  kUpdateData,  // object payload bytes changed
+  kCreate,      // object allocated (refs/data images allow redo)
+  kFree,        // object deallocated (images allow undo)
+  kClr,         // compensation record written while undoing
+  kCheckpoint,
+};
+
+// Who generated the record. The log analyzer that maintains the ERT and
+// the TRT (paper Section 3.3) only processes user records: the
+// reorganization process maintains the ERT itself when it migrates an
+// object (paper Figure 5), and its own reference rewrites must not be
+// (re-)noted in either table.
+enum class LogSource : uint8_t {
+  kUser,
+  kReorg,
+};
+
+// A logical log record. The database is memory resident (like Dali /
+// DataBlitz, the systems that motivated the paper), so records are kept
+// as structs rather than serialized bytes; "flushing" to the stable log
+// models the commit-time disk force.
+struct LogRecord {
+  Lsn lsn = kInvalidLsn;
+  Lsn prev_lsn = kInvalidLsn;  // previous record of the same transaction
+  LogRecordType type = LogRecordType::kBegin;
+  LogSource source = LogSource::kUser;
+  TxnId txn = kInvalidTxn;
+
+  ObjectId oid;   // object affected
+  uint32_t slot = 0;
+  ObjectId old_ref;  // kSetRef/kClr: value before; invalid = slot was empty
+  ObjectId new_ref;  // kSetRef/kClr: value after; invalid = slot cleared
+
+  uint32_t num_refs = 0;   // kCreate/kFree: object shape
+  uint32_t data_size = 0;  // kCreate/kFree
+
+  std::vector<uint8_t> old_data;       // kUpdateData undo / kFree image
+  std::vector<uint8_t> new_data;       // kUpdateData redo / kCreate image
+  std::vector<ObjectId> refs_image;    // kFree undo image / kCreate redo image
+
+  // kClr: the next record of this transaction that still needs undoing.
+  Lsn undo_next_lsn = kInvalidLsn;
+  // kClr: the type of the operation this CLR compensates (one of kSetRef,
+  // kUpdateData, kCreate, kFree); the payload fields describe the
+  // *compensating* action so redo and ERT/TRT analysis treat CLRs exactly
+  // like forward records (an abort that reintroduces a deleted reference
+  // is treated as an insertion, paper Section 4.5).
+  LogRecordType compensates = LogRecordType::kSetRef;
+
+  // kCheckpoint: LSN below which the checkpoint image is complete.
+  Lsn checkpoint_lsn = kInvalidLsn;
+
+  // kCreate by a reorg transaction: the object this creation is the
+  // migration target of (O_old). Lets restart recovery detect and finish
+  // migrations the two-lock variant had in flight (Section 4.2: after a
+  // failure the database may hold references to both O_old and O_new).
+  ObjectId reorg_old;
+};
+
+}  // namespace brahma
+
+#endif  // BRAHMA_WAL_LOG_RECORD_H_

@@ -1,0 +1,61 @@
+#include "workload/driver.h"
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "workload/random_walk.h"
+
+namespace brahma {
+
+DriverResult WorkloadDriver::Run(const std::function<bool()>& should_stop,
+                                 uint64_t max_txns_per_thread) {
+  DriverResult total;
+  std::mutex merge_mu;
+  std::vector<std::thread> threads;
+  Stopwatch wall;
+
+  for (uint32_t t = 0; t < params_.mpl; ++t) {
+    // Threads are uniformly assigned home partitions.
+    uint32_t home = 1 + (t % params_.num_partitions);
+    uint64_t seed = params_.seed * 1000003 + t;
+    threads.emplace_back([this, home, seed, max_txns_per_thread,
+                          &should_stop, &total, &merge_mu]() {
+      Random rng(seed);
+      DriverResult local;
+      while (!should_stop() &&
+             (max_txns_per_thread == 0 ||
+              local.committed < max_txns_per_thread)) {
+        Stopwatch txn_clock;
+        // Retry until commit: the logical transaction's response time
+        // includes time lost to timeout aborts.
+        for (;;) {
+          Status s = RunWalkOnce(db_, params_, *graph_, home, &rng);
+          if (s.ok()) {
+            local.response_ms.Add(txn_clock.ElapsedMillis());
+            ++local.committed;
+            break;
+          }
+          if (s.IsTimedOut()) {
+            ++local.timeout_aborts;
+          } else {
+            ++local.other_aborts;
+          }
+          if (should_stop()) break;  // reorg finished mid-retry
+        }
+      }
+      std::lock_guard<std::mutex> g(merge_mu);
+      total.committed += local.committed;
+      total.timeout_aborts += local.timeout_aborts;
+      total.other_aborts += local.other_aborts;
+      total.response_ms.Merge(local.response_ms);
+    });
+  }
+  for (auto& th : threads) th.join();
+  total.elapsed_s = wall.ElapsedSeconds();
+  return total;
+}
+
+}  // namespace brahma

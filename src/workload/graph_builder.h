@@ -1,0 +1,71 @@
+#ifndef BRAHMA_WORKLOAD_GRAPH_BUILDER_H_
+#define BRAHMA_WORKLOAD_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/database.h"
+
+namespace brahma {
+
+// Parameters of the paper's performance study (Table 1) plus the knobs
+// our implementation adds (reference-mutation rate, object payload size).
+struct WorkloadParams {
+  uint32_t num_partitions = 10;        // NUMPARTITIONS (data partitions)
+  uint32_t objects_per_partition = 4080;  // NUMOBJS
+  uint32_t mpl = 30;                   // MPL
+  uint32_t ops_per_txn = 8;            // OPSPERTRANS (random-walk length)
+  double update_prob = 0.5;            // UPDATEPROB
+  double glue_factor = 0.05;           // GLUEFACTOR
+
+  // Our knobs (the paper's workload updates objects under exclusive
+  // locks; reference mutations are what exercise the TRT):
+  double ref_mutation_prob = 0.2;  // P(an update access re-points the glue edge)
+  double abort_prob = 0.0;         // P(transaction voluntarily aborts)
+  uint32_t data_size = 64;         // payload bytes per object
+  uint64_t seed = 42;
+
+  // Cluster shape: a full 4-ary tree of depth 3 has exactly 85 objects,
+  // the cluster size of the paper. Each node carries 4 child slots + 1
+  // glue slot.
+  static constexpr uint32_t kClusterSize = 85;
+  static constexpr uint32_t kBranch = 4;
+  static constexpr uint32_t kNumRefSlots = 5;
+  static constexpr uint32_t kGlueSlot = 4;
+
+  uint32_t clusters_per_partition() const {
+    return objects_per_partition / kClusterSize;
+  }
+};
+
+// Handles into the built database.
+struct BuiltGraph {
+  ObjectId root;  // the persistent root (partition 0)
+  // partition_dirs[p-1]: the directory object (partition 0) whose refs
+  // are the persistent cluster roots of data partition p.
+  std::vector<ObjectId> partition_dirs;
+  // cluster_roots[p-1]: the cluster roots of data partition p.
+  std::vector<std::vector<ObjectId>> cluster_roots;
+  uint64_t objects_created = 0;
+};
+
+// Builds the object graph of paper Section 5.2: NUMPARTITIONS partitions
+// of NUMOBJS objects organized into 85-object tree clusters whose roots
+// are persistent roots; each node additionally holds one glue edge to a
+// node of another cluster, which lies in another partition with
+// probability GLUEFACTOR. The build runs through ordinary transactions,
+// so the WAL stream exists and the log analyzer constructs the ERTs.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(Database* db) : db_(db) {}
+
+  Status Build(const WorkloadParams& params, BuiltGraph* out);
+
+ private:
+  Database* db_;
+};
+
+}  // namespace brahma
+
+#endif  // BRAHMA_WORKLOAD_GRAPH_BUILDER_H_

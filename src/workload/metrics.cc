@@ -1,0 +1,36 @@
+#include "workload/metrics.h"
+
+#include <cstdio>
+
+namespace brahma {
+
+void PrintSeriesHeader(const std::string& x_name,
+                       const std::vector<std::string>& series) {
+  std::printf("%-14s", x_name.c_str());
+  for (const std::string& s : series) {
+    std::printf("%14s", s.c_str());
+  }
+  std::printf("\n");
+}
+
+void PrintSeriesRow(double x, const std::vector<double>& values) {
+  std::printf("%-14.3g", x);
+  for (double v : values) {
+    std::printf("%14.2f", v);
+  }
+  std::printf("\n");
+}
+
+void PrintResponseAnalysisHeader() {
+  std::printf("%-8s %12s %16s %16s %18s\n", "algo", "tput(tps)",
+              "avg_resp(ms)", "max_resp(ms)", "stddev_resp(ms)");
+}
+
+void PrintResponseAnalysisRow(const std::string& name,
+                              const DriverResult& r) {
+  std::printf("%-8s %12.1f %16.2f %16.2f %18.2f\n", name.c_str(),
+              r.throughput_tps(), r.response_ms.mean(), r.response_ms.max(),
+              r.response_ms.stddev());
+}
+
+}  // namespace brahma

@@ -1,0 +1,29 @@
+#ifndef BRAHMA_WORKLOAD_METRICS_H_
+#define BRAHMA_WORKLOAD_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/driver.h"
+
+namespace brahma {
+
+// Pretty-printing helpers for the benchmark harnesses: the figures print
+// one row per sweep point, the tables one row per algorithm.
+
+// Prints a header like "mpl  nr_tps  ira_tps  pqr_tps".
+void PrintSeriesHeader(const std::string& x_name,
+                       const std::vector<std::string>& series);
+
+// Prints one row of the sweep: x followed by one value per series.
+void PrintSeriesRow(double x, const std::vector<double>& values);
+
+// Prints a Table-2 style row: algorithm, throughput, avg/max/stddev of
+// response times (ms).
+void PrintResponseAnalysisHeader();
+void PrintResponseAnalysisRow(const std::string& name,
+                              const DriverResult& result);
+
+}  // namespace brahma
+
+#endif  // BRAHMA_WORKLOAD_METRICS_H_

@@ -1,0 +1,111 @@
+#include "workload/random_walk.h"
+
+namespace brahma {
+
+Status RunWalkOnce(Database* db, const WorkloadParams& params,
+                   const BuiltGraph& graph, uint32_t home_partition,
+                   Random* rng) {
+  std::unique_ptr<Transaction> txn = db->Begin();
+  const bool strict = db->options().strict_2pl;
+
+  // Reach the persistent roots of the home partition through the
+  // directory object (references are obtained only by following the
+  // persistent root, Section 2).
+  ObjectId dir = graph.partition_dirs[home_partition - 1];
+  Status s = txn->Lock(dir, LockMode::kShared);
+  if (!s.ok()) {
+    txn->Abort();
+    return s;
+  }
+  std::vector<ObjectId> roots;
+  s = txn->ReadRefs(dir, &roots);
+  if (!s.ok()) {
+    txn->Abort();
+    return s;
+  }
+  if (roots.empty()) {
+    txn->Abort();
+    return Status::Internal("empty directory");
+  }
+  ObjectId current = roots[rng->Uniform(roots.size())];
+  if (!strict) txn->Unlock(dir);
+
+  std::vector<ObjectId> refs;
+  std::vector<uint8_t> payload(params.data_size);
+  for (uint32_t step = 0; step < params.ops_per_txn; ++step) {
+    const bool update = rng->Bernoulli(params.update_prob);
+    s = txn->Lock(current,
+                  update ? LockMode::kExclusive : LockMode::kShared);
+    if (!s.ok()) {
+      txn->Abort();
+      return s;
+    }
+    s = txn->ReadRefs(current, &refs);
+    if (!s.ok()) {
+      // Stale reference (possible in two-lock reorg mode): abort & retry.
+      txn->Abort();
+      return s;
+    }
+    if (update) {
+      for (auto& b : payload) b = static_cast<uint8_t>(rng->Next());
+      s = txn->WriteData(current, payload);
+      if (!s.ok()) {
+        txn->Abort();
+        return s;
+      }
+      if (rng->Bernoulli(params.ref_mutation_prob) &&
+          !txn->local_refs().empty()) {
+        // Re-point the glue edge: delete the reference, then insert one
+        // copied from local memory (half the time the same one — the
+        // delete/re-insert pattern of Figure 2).
+        ObjectId old_glue;
+        s = txn->ReadRef(current, WorkloadParams::kGlueSlot, &old_glue);
+        if (!s.ok()) {
+          txn->Abort();
+          return s;
+        }
+        ObjectId target =
+            rng->Bernoulli(0.5) && old_glue.valid()
+                ? old_glue
+                : txn->local_refs()[rng->Uniform(txn->local_refs().size())];
+        s = txn->SetRef(current, WorkloadParams::kGlueSlot,
+                        ObjectId::Invalid());
+        if (s.ok()) {
+          s = txn->SetRef(current, WorkloadParams::kGlueSlot, target);
+        }
+        if (!s.ok()) {
+          txn->Abort();
+          return s;
+        }
+      }
+    }
+    // Pick the next object among the current one's (valid) references.
+    std::vector<ObjectId> valid;
+    for (ObjectId r : refs) {
+      if (r.valid()) valid.push_back(r);
+    }
+    ObjectId next;
+    if (!valid.empty()) {
+      next = valid[rng->Uniform(valid.size())];
+    } else if (!txn->local_refs().empty()) {
+      next = txn->local_refs()[rng->Uniform(txn->local_refs().size())];
+    } else {
+      break;  // dead end
+    }
+    // Early release (Section 4.1 mode) is only sound for read locks:
+    // releasing an exclusive lock before completion would expose
+    // uncommitted writes, and this system's physical before-image undo
+    // (like ARIES') requires no conflicting write sneaks in before a
+    // potential abort restores the old value.
+    if (!strict && !update && current != dir) txn->Unlock(current);
+    current = next;
+  }
+
+  if (params.abort_prob > 0 && rng->Bernoulli(params.abort_prob)) {
+    txn->Abort();
+    return Status::Aborted("voluntary abort");
+  }
+  return txn->Commit();
+}
+
+}  // namespace brahma

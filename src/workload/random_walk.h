@@ -1,0 +1,28 @@
+#ifndef BRAHMA_WORKLOAD_RANDOM_WALK_H_
+#define BRAHMA_WORKLOAD_RANDOM_WALK_H_
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/database.h"
+#include "workload/graph_builder.h"
+
+namespace brahma {
+
+// One attempt at the paper's transaction (Section 5.2): a random walk of
+// OPSPERTRANS objects starting at a randomly chosen persistent (cluster)
+// root of the thread's home partition. Each access locks the object in
+// exclusive mode with probability UPDATEPROB, else shared. Update
+// accesses rewrite the payload, and with probability ref_mutation_prob
+// re-point the glue edge to a reference from the transaction's local
+// memory (delete + insert — the pattern of the paper's Figure 2).
+//
+// Returns Ok on commit; TimedOut if a lock wait timed out (the caller
+// aborts and retries, as in the paper's timeout-based deadlock handling);
+// Aborted on a voluntary abort or stale-reference detection.
+Status RunWalkOnce(Database* db, const WorkloadParams& params,
+                   const BuiltGraph& graph, uint32_t home_partition,
+                   Random* rng);
+
+}  // namespace brahma
+
+#endif  // BRAHMA_WORKLOAD_RANDOM_WALK_H_

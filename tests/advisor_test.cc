@@ -1,0 +1,141 @@
+#include "core/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "tests/test_util.h"
+#include "workload/graph_builder.h"
+
+namespace brahma {
+namespace {
+
+class AdvisorTest : public ::testing::Test {
+ protected:
+  AdvisorTest() : db_(testing::SmallDbOptions(4)) {}
+
+  // Fragment partition p: interleave fillers with real objects, free the
+  // fillers.
+  void Fragment(PartitionId p, int fillers = 60) {
+    std::vector<ObjectId> filler_ids, keep_ids;
+    {
+      auto txn = db_.Begin(LogSource::kReorg);
+      for (int i = 0; i < fillers; ++i) {
+        ObjectId f, k;
+        ASSERT_TRUE(txn->CreateObject(p, 0, 120, &f).ok());
+        ASSERT_TRUE(txn->CreateObject(p, 1, 16, &k).ok());
+        filler_ids.push_back(f);
+        keep_ids.push_back(k);
+      }
+      txn->Commit();
+    }
+    // Anchor the kept objects so they are live.
+    {
+      auto txn = db_.Begin();
+      ObjectId anchor;
+      ASSERT_TRUE(
+          txn->CreateObject(p == 2 ? 3 : 2, keep_ids.size(), 0, &anchor)
+              .ok());
+      for (size_t i = 0; i < keep_ids.size(); ++i) {
+        ASSERT_TRUE(
+            txn->SetRef(anchor, static_cast<uint32_t>(i), keep_ids[i]).ok());
+      }
+      txn->Commit();
+    }
+    {
+      auto txn = db_.Begin(LogSource::kReorg);
+      for (ObjectId f : filler_ids) ASSERT_TRUE(txn->FreeObject(f).ok());
+      txn->Commit();
+    }
+    db_.analyzer().Sync();
+  }
+
+  Database db_;
+};
+
+TEST_F(AdvisorTest, NoAdviceOnCleanDatabase) {
+  ReorgAdvisor advisor(db_.reorg_context());
+  EXPECT_FALSE(advisor.SuggestCompaction(0.1, 1024).has_value());
+}
+
+TEST_F(AdvisorTest, SuggestsFragmentedPartition) {
+  Fragment(1);
+  ReorgAdvisor advisor(db_.reorg_context());
+  auto advice = advisor.SuggestCompaction(0.2, 1024);
+  ASSERT_TRUE(advice.has_value());
+  EXPECT_EQ(advice->partition, 1);
+  EXPECT_EQ(advice->reason, PartitionAdvice::Reason::kFragmentation);
+  EXPECT_GT(advice->score, 0.2);
+}
+
+TEST_F(AdvisorTest, PicksWorstPartition) {
+  Fragment(1, 20);
+  Fragment(2, 80);
+  ReorgAdvisor advisor(db_.reorg_context());
+  auto advice = advisor.SuggestCompaction(0.1, 1024);
+  ASSERT_TRUE(advice.has_value());
+  // Both fragmented; partition 2 has more holes.
+  EXPECT_EQ(advice->partition, 2);
+}
+
+TEST_F(AdvisorTest, GarbageEstimate) {
+  // One live object, three garbage objects.
+  ObjectId ext, live;
+  ASSERT_TRUE(db_.store().EnsurePersistentRoot(4).ok());
+  ObjectId root = db_.store().persistent_root();
+  {
+    auto txn = db_.Begin();
+    ASSERT_TRUE(txn->Lock(root, LockMode::kExclusive).ok());
+    ASSERT_TRUE(txn->CreateObject(2, 1, 8, &ext).ok());
+    ASSERT_TRUE(txn->CreateObject(1, 0, 8, &live).ok());
+    ObjectId g;
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(txn->CreateObject(1, 0, 8, &g).ok());
+    }
+    ASSERT_TRUE(txn->SetRef(root, 0, ext).ok());  // keep ext live
+    ASSERT_TRUE(txn->SetRef(ext, 0, live).ok());
+    txn->Commit();
+  }
+  db_.analyzer().Sync();
+  ReorgAdvisor advisor(db_.reorg_context());
+  EXPECT_NEAR(advisor.EstimateGarbageFraction(1), 0.75, 1e-9);
+  auto advice = advisor.SuggestCollection(0.5);
+  ASSERT_TRUE(advice.has_value());
+  EXPECT_EQ(advice->partition, 1);
+  EXPECT_EQ(advice->reason, PartitionAdvice::Reason::kGarbage);
+}
+
+TEST_F(AdvisorTest, DaemonCompactsAutomatically) {
+  Fragment(1);
+  FragmentationStats before =
+      db_.store().partition(1).GetFragmentationStats();
+  ASSERT_GT(before.FragmentationRatio(), 0.2);
+
+  ReorgDaemon::Options opt;
+  opt.poll_interval = std::chrono::milliseconds(20);
+  opt.min_fragmentation = 0.2;
+  ReorgDaemon daemon(db_.reorg_context(), opt);
+  daemon.Start();
+  // Wait (bounded) for the daemon to act.
+  for (int i = 0; i < 200 && daemon.reorgs_run() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  daemon.Stop();
+  EXPECT_GE(daemon.reorgs_run(), 1u);
+  EXPECT_GT(daemon.objects_migrated(), 0u);
+  FragmentationStats after = db_.store().partition(1).GetFragmentationStats();
+  EXPECT_LT(after.FragmentationRatio(), before.FragmentationRatio());
+  EXPECT_EQ(testing::CountDanglingRefs(&db_.store()), 0);
+}
+
+TEST_F(AdvisorTest, DaemonStopIsIdempotent) {
+  ReorgDaemon::Options opt;
+  ReorgDaemon daemon(db_.reorg_context(), opt);
+  daemon.Start();
+  daemon.Stop();
+  daemon.Stop();
+  daemon.Start();
+  daemon.Stop();
+}
+
+}  // namespace
+}  // namespace brahma

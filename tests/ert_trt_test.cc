@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/ert.h"
+#include "core/trt.h"
+
+namespace brahma {
+namespace {
+
+const ObjectId kChildA(1, 64);
+const ObjectId kChildB(1, 128);
+const ObjectId kParentX(2, 64);
+const ObjectId kParentY(3, 64);
+
+TEST(ErtTest, AddRemoveParents) {
+  Ert ert;
+  ert.AddRef(kChildA, kParentX);
+  ert.AddRef(kChildA, kParentY);
+  std::vector<ObjectId> parents = ert.ParentsOf(kChildA);
+  std::sort(parents.begin(), parents.end());
+  EXPECT_EQ(parents, (std::vector<ObjectId>{kParentX, kParentY}));
+  EXPECT_TRUE(ert.RemoveRef(kChildA, kParentX));
+  EXPECT_FALSE(ert.RemoveRef(kChildA, kParentX));
+  EXPECT_EQ(ert.ParentsOf(kChildA), std::vector<ObjectId>{kParentY});
+}
+
+TEST(ErtTest, MultiplicityOfRepeatedEdges) {
+  // A parent can reference a child from two slots: two entries, removed
+  // one at a time.
+  Ert ert;
+  ert.AddRef(kChildA, kParentX);
+  ert.AddRef(kChildA, kParentX);
+  EXPECT_EQ(ert.ParentsOf(kChildA).size(), 2u);
+  ert.RemoveRef(kChildA, kParentX);
+  EXPECT_EQ(ert.ParentsOf(kChildA).size(), 1u);
+}
+
+TEST(ErtTest, ReferencedObjectsDistinct) {
+  Ert ert;
+  ert.AddRef(kChildA, kParentX);
+  ert.AddRef(kChildA, kParentY);
+  ert.AddRef(kChildB, kParentX);
+  std::vector<ObjectId> objs = ert.ReferencedObjects();
+  std::sort(objs.begin(), objs.end());
+  EXPECT_EQ(objs, (std::vector<ObjectId>{kChildA, kChildB}));
+}
+
+TEST(ErtTest, HasEntryAndSizeAndClear) {
+  Ert ert;
+  ert.AddRef(kChildA, kParentX);
+  EXPECT_TRUE(ert.HasEntry(kChildA, kParentX));
+  EXPECT_FALSE(ert.HasEntry(kChildA, kParentY));
+  EXPECT_EQ(ert.Size(), 1u);
+  ert.Clear();
+  EXPECT_EQ(ert.Size(), 0u);
+}
+
+TEST(ErtSetTest, PerPartitionInstances) {
+  ErtSet erts(4);
+  erts.For(1).AddRef(kChildA, kParentX);
+  EXPECT_EQ(erts.For(1).Size(), 1u);
+  EXPECT_EQ(erts.For(2).Size(), 0u);
+  erts.ClearAll();
+  EXPECT_EQ(erts.For(1).Size(), 0u);
+}
+
+TEST(TrtTest, DisabledByDefault) {
+  Trt trt;
+  EXPECT_FALSE(trt.enabled());
+  EXPECT_FALSE(trt.EnabledFor(1));
+}
+
+TEST(TrtTest, EnableForOnePartition) {
+  Trt trt;
+  trt.Enable(2, /*purge=*/true);
+  EXPECT_TRUE(trt.EnabledFor(2));
+  EXPECT_FALSE(trt.EnabledFor(1));
+  trt.Disable();
+  EXPECT_FALSE(trt.EnabledFor(2));
+}
+
+TEST(TrtTest, NoteAndDrain) {
+  Trt trt;
+  trt.Enable(1, true);
+  trt.NoteInsert(kChildA, kParentX, 10);
+  trt.NoteDelete(kChildA, kParentY, 11);
+  EXPECT_TRUE(trt.HasTuplesFor(kChildA));
+  EXPECT_EQ(trt.Size(), 2u);
+
+  int drained = 0;
+  while (auto t = trt.AnyTupleFor(kChildA)) {
+    EXPECT_TRUE(trt.EraseTuple(*t));
+    ++drained;
+  }
+  EXPECT_EQ(drained, 2);
+  EXPECT_FALSE(trt.HasTuplesFor(kChildA));
+}
+
+TEST(TrtTest, ReferencedObjectsAndParents) {
+  Trt trt;
+  trt.Enable(1, true);
+  trt.NoteInsert(kChildA, kParentX, 1);
+  trt.NoteDelete(kChildB, kParentY, 2);
+  auto children = trt.ReferencedObjects();
+  std::sort(children.begin(), children.end());
+  EXPECT_EQ(children, (std::vector<ObjectId>{kChildA, kChildB}));
+  auto parents = trt.AllParents();
+  std::sort(parents.begin(), parents.end());
+  EXPECT_EQ(parents, (std::vector<ObjectId>{kParentX, kParentY}));
+}
+
+TEST(TrtTest, RenameParent) {
+  Trt trt;
+  trt.Enable(1, true);
+  trt.NoteInsert(kChildA, kParentX, 1);
+  trt.NoteDelete(kChildB, kParentX, 2);
+  trt.NoteInsert(kChildB, kParentY, 3);
+  ObjectId new_parent(2, 999);
+  trt.RenameParent(kParentX, new_parent);
+  for (ObjectId child : {kChildA, kChildB}) {
+    auto t = trt.AnyTupleFor(child);
+    ASSERT_TRUE(t.has_value());
+  }
+  auto parents = trt.AllParents();
+  std::sort(parents.begin(), parents.end());
+  std::vector<ObjectId> expect{kParentY, new_parent};
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(parents, expect);
+  EXPECT_EQ(trt.Size(), 3u);
+}
+
+TEST(TrtTest, PurgeDeletesOnCompletion) {
+  // Section 4.5: delete tuples purged when their transaction completes.
+  Trt trt;
+  trt.Enable(1, /*purge=*/true);
+  trt.NoteDelete(kChildA, kParentX, 10);
+  trt.NoteDelete(kChildB, kParentY, 11);
+  trt.OnTxnComplete(10, /*committed=*/false);  // abort also purges deletes
+  EXPECT_FALSE(trt.HasTuplesFor(kChildA));
+  EXPECT_TRUE(trt.HasTuplesFor(kChildB));
+}
+
+TEST(TrtTest, CommitPurgesMatchingInsert) {
+  // When the deleter of R -> O commits, a matching insert tuple goes too.
+  Trt trt;
+  trt.Enable(1, true);
+  trt.NoteInsert(kChildA, kParentX, 9);   // some earlier inserter
+  trt.NoteDelete(kChildA, kParentX, 10);  // the deleter
+  trt.NoteInsert(kChildA, kParentY, 9);   // different parent: must survive
+  trt.OnTxnComplete(10, /*committed=*/true);
+  auto t = trt.AnyTupleFor(kChildA);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->parent, kParentY);
+  EXPECT_EQ(trt.Size(), 1u);
+}
+
+TEST(TrtTest, AbortDoesNotPurgeMatchingInsert) {
+  Trt trt;
+  trt.Enable(1, true);
+  trt.NoteInsert(kChildA, kParentX, 9);
+  trt.NoteDelete(kChildA, kParentX, 10);
+  trt.OnTxnComplete(10, /*committed=*/false);
+  // Delete tuple gone, insert remains (the abort may have reintroduced
+  // the reference; its CLR insert is logged separately).
+  auto t = trt.AnyTupleFor(kChildA);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->action, TrtTuple::Action::kInsert);
+}
+
+TEST(TrtTest, PurgeDisabled) {
+  // Without strict 2PL, delete tuples must not be purged (Section 4.5).
+  Trt trt;
+  trt.Enable(1, /*purge=*/false);
+  trt.NoteDelete(kChildA, kParentX, 10);
+  trt.OnTxnComplete(10, true);
+  EXPECT_TRUE(trt.HasTuplesFor(kChildA));
+}
+
+TEST(TrtTest, EnableClearsOldState) {
+  Trt trt;
+  trt.Enable(1, true);
+  trt.NoteInsert(kChildA, kParentX, 1);
+  trt.Disable();
+  trt.Enable(1, true);
+  EXPECT_EQ(trt.Size(), 0u);
+}
+
+TEST(TrtTest, Counters) {
+  Trt trt;
+  trt.Enable(1, true);
+  trt.NoteInsert(kChildA, kParentX, 1);
+  trt.NoteDelete(kChildA, kParentX, 2);
+  EXPECT_EQ(trt.inserts_noted(), 1u);
+  EXPECT_EQ(trt.deletes_noted(), 1u);
+  trt.OnTxnComplete(2, true);
+  EXPECT_EQ(trt.purged(), 2u);  // delete + matched insert
+}
+
+}  // namespace
+}  // namespace brahma

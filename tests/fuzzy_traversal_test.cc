@@ -1,0 +1,159 @@
+#include "core/fuzzy_traversal.h"
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "tests/test_util.h"
+#include "workload/graph_builder.h"
+
+namespace brahma {
+namespace {
+
+class FuzzyTraversalTest : public ::testing::Test {
+ protected:
+  FuzzyTraversalTest() : db_(testing::SmallDbOptions()) {}
+
+  ObjectId Create(PartitionId p, uint32_t num_refs = 3) {
+    auto txn = db_.Begin();
+    ObjectId oid;
+    EXPECT_TRUE(txn->CreateObject(p, num_refs, 8, &oid).ok());
+    txn->Commit();
+    return oid;
+  }
+
+  void Link(ObjectId parent, uint32_t slot, ObjectId child) {
+    auto txn = db_.Begin();
+    ASSERT_TRUE(txn->Lock(parent, LockMode::kExclusive).ok());
+    ASSERT_TRUE(txn->SetRef(parent, slot, child).ok());
+    txn->Commit();
+  }
+
+  TraversalResult Traverse(PartitionId p) {
+    FuzzyTraversal t(&db_.store(), &db_.erts(), &db_.trt(), &db_.analyzer());
+    return t.Run(p);
+  }
+
+  Database db_;
+};
+
+TEST_F(FuzzyTraversalTest, FindsChainFromErtSeed) {
+  // external -> a -> b -> c, all of a,b,c in partition 1.
+  ObjectId ext = Create(2);
+  ObjectId a = Create(1), b = Create(1), c = Create(1);
+  Link(ext, 0, a);
+  Link(a, 0, b);
+  Link(b, 0, c);
+  TraversalResult r = Traverse(1);
+  EXPECT_EQ(r.traversed.size(), 3u);
+  EXPECT_TRUE(r.traversed.count(a));
+  EXPECT_TRUE(r.traversed.count(b));
+  EXPECT_TRUE(r.traversed.count(c));
+  // Parents: a's parent is the external object (from the ERT); b's is a.
+  EXPECT_EQ(r.parents.Get(a), std::vector<ObjectId>{ext});
+  EXPECT_EQ(r.parents.Get(b), std::vector<ObjectId>{a});
+  EXPECT_EQ(r.parents.Get(c), std::vector<ObjectId>{b});
+}
+
+TEST_F(FuzzyTraversalTest, RestrictedToPartition) {
+  ObjectId ext = Create(2);
+  ObjectId a = Create(1);
+  ObjectId other = Create(3);
+  Link(ext, 0, a);
+  Link(a, 0, other);  // edge out of the partition: followed but not entered
+  TraversalResult r = Traverse(1);
+  EXPECT_EQ(r.traversed.size(), 1u);
+  EXPECT_FALSE(r.traversed.count(other));
+}
+
+TEST_F(FuzzyTraversalTest, MultipleParentsCollected) {
+  ObjectId ext1 = Create(2), ext2 = Create(3);
+  ObjectId a = Create(1), b = Create(1);
+  Link(ext1, 0, a);
+  Link(ext2, 0, a);
+  Link(a, 0, b);
+  Link(a, 1, b);  // two slots -> still one parent entry (set semantics)
+  TraversalResult r = Traverse(1);
+  std::vector<ObjectId> pa = r.parents.Get(a);
+  std::sort(pa.begin(), pa.end());
+  std::vector<ObjectId> expect{ext1, ext2};
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(pa, expect);
+  EXPECT_EQ(r.parents.Get(b), std::vector<ObjectId>{a});
+}
+
+TEST_F(FuzzyTraversalTest, UnreferencedObjectIsNotFound) {
+  ObjectId ext = Create(2);
+  ObjectId a = Create(1);
+  ObjectId garbage = Create(1);  // never referenced
+  Link(ext, 0, a);
+  TraversalResult r = Traverse(1);
+  EXPECT_TRUE(r.traversed.count(a));
+  EXPECT_FALSE(r.traversed.count(garbage));
+}
+
+TEST_F(FuzzyTraversalTest, TrtDeletedObjectStillTraversed) {
+  // The scenario motivating loop L2 (paper Figure 2 discussion): the only
+  // reference to O is cut before the traversal runs; the deleting
+  // transaction could reinsert it. The TRT delete tuple forces O (and its
+  // descendants) to be traversed anyway.
+  ObjectId ext = Create(2);
+  ObjectId o = Create(1), d = Create(1);
+  Link(ext, 0, o);
+  Link(o, 0, d);
+  db_.trt().Enable(1, /*purge=*/false);  // no purge: tuple must survive
+  Link(ext, 0, ObjectId::Invalid());     // cut the only reference to o
+  db_.analyzer().Sync();
+  TraversalResult r = Traverse(1);
+  EXPECT_TRUE(r.traversed.count(o));
+  EXPECT_TRUE(r.traversed.count(d));
+  EXPECT_GE(r.trt_restarts, 1u);
+  db_.trt().Disable();
+}
+
+TEST_F(FuzzyTraversalTest, CyclesTerminate) {
+  ObjectId ext = Create(2);
+  ObjectId a = Create(1), b = Create(1);
+  Link(ext, 0, a);
+  Link(a, 0, b);
+  Link(b, 0, a);  // cycle
+  TraversalResult r = Traverse(1);
+  EXPECT_EQ(r.traversed.size(), 2u);
+  EXPECT_TRUE(r.parents.Contains(a, b));
+  EXPECT_TRUE(r.parents.Contains(b, a));
+}
+
+TEST_F(FuzzyTraversalTest, EmptyPartition) {
+  TraversalResult r = Traverse(3);
+  EXPECT_TRUE(r.traversed.empty());
+}
+
+TEST_F(FuzzyTraversalTest, WorkloadGraphFullyCovered) {
+  WorkloadParams params = testing::SmallWorkload(2);
+  BuiltGraph graph;
+  GraphBuilder builder(&db_);
+  ASSERT_TRUE(builder.Build(params, &graph).ok());
+  TraversalResult r = Traverse(1);
+  // Everything allocated in partition 1 is reachable: the traversal must
+  // find all of it (Lemma 3.1).
+  EXPECT_EQ(r.traversed.size(), params.objects_per_partition);
+  // Every traversed object except cluster roots has at least one parent;
+  // cluster roots have the directory object as external parent.
+  for (ObjectId root : graph.cluster_roots[0]) {
+    std::vector<ObjectId> parents = r.parents.Get(root);
+    EXPECT_FALSE(parents.empty());
+  }
+}
+
+TEST_F(FuzzyTraversalTest, ReadRefsLatchedRejectsStale) {
+  ObjectId a = Create(1);
+  {
+    auto txn = db_.Begin(LogSource::kReorg);
+    ASSERT_TRUE(txn->FreeObject(a).ok());
+    txn->Commit();
+  }
+  std::vector<ObjectId> refs;
+  EXPECT_FALSE(ReadRefsLatched(&db_.store(), a, &refs));
+}
+
+}  // namespace
+}  // namespace brahma

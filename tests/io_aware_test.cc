@@ -1,0 +1,125 @@
+#include "core/io_aware.h"
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "tests/test_util.h"
+#include "workload/graph_builder.h"
+
+namespace brahma {
+namespace {
+
+using Entries = std::vector<std::pair<ObjectId, ObjectId>>;
+
+const ObjectId kA(1, 16), kB(1, 32), kC(1, 48), kD(1, 64);
+const ObjectId kP(2, 16), kQ(2, 32);
+
+TEST(FetchCostTest, NoParentsNoFetches) {
+  EXPECT_EQ(CountExternalParentFetches({kA, kB}, {}, 4), 0u);
+}
+
+TEST(FetchCostTest, ZeroBufferFetchesEveryTouch) {
+  Entries ert{{kA, kP}, {kB, kP}, {kC, kP}};
+  EXPECT_EQ(CountExternalParentFetches({kA, kB, kC}, ert, 0), 3u);
+}
+
+TEST(FetchCostTest, InfiniteBufferFetchesDistinctParents) {
+  Entries ert{{kA, kP}, {kB, kP}, {kC, kQ}, {kD, kQ}};
+  EXPECT_EQ(CountExternalParentFetches({kA, kC, kB, kD}, ert, 100), 2u);
+}
+
+TEST(FetchCostTest, OrderMattersWithTinyBuffer) {
+  // Buffer of 1: interleaving the two parents' children thrashes.
+  Entries ert{{kA, kP}, {kB, kQ}, {kC, kP}, {kD, kQ}};
+  uint64_t interleaved =
+      CountExternalParentFetches({kA, kB, kC, kD}, ert, 1);
+  uint64_t grouped = CountExternalParentFetches({kA, kC, kB, kD}, ert, 1);
+  EXPECT_EQ(interleaved, 4u);
+  EXPECT_EQ(grouped, 2u);
+}
+
+TEST(LockCostTest, ConsecutiveSharersBatch) {
+  Entries ert{{kA, kP}, {kB, kP}, {kC, kQ}};
+  EXPECT_EQ(CountExternalLockAcquisitions({kA, kB, kC}, ert), 2u);
+  EXPECT_EQ(CountExternalLockAcquisitions({kA, kC, kB}, ert), 3u);
+}
+
+TEST(IoAwarePlannerTest, GroupsChildrenOfSharedParents) {
+  Database db(testing::SmallDbOptions(3));
+  // P -> {A, C}, Q -> {B}; A,B,C in partition 1; P,Q external.
+  ObjectId p, q, a, b, c;
+  {
+    auto txn = db.Begin();
+    ASSERT_TRUE(txn->CreateObject(2, 2, 8, &p).ok());
+    ASSERT_TRUE(txn->CreateObject(2, 1, 8, &q).ok());
+    ASSERT_TRUE(txn->CreateObject(1, 0, 8, &a).ok());
+    ASSERT_TRUE(txn->CreateObject(1, 0, 8, &b).ok());
+    ASSERT_TRUE(txn->CreateObject(1, 0, 8, &c).ok());
+    ASSERT_TRUE(txn->SetRef(p, 0, a).ok());
+    ASSERT_TRUE(txn->SetRef(p, 1, c).ok());
+    ASSERT_TRUE(txn->SetRef(q, 0, b).ok());
+    txn->Commit();
+  }
+  db.analyzer().Sync();
+  CopyOutPlanner base(2);
+  IoAwarePlanner planner(&base, &db.erts().For(1));
+  std::vector<ObjectId> order{a, b, c};
+  planner.Order(&order);
+  // A and C (children of the fan-in-2 parent P) come first, adjacent.
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], a);
+  EXPECT_EQ(order[1], c);
+  EXPECT_EQ(order[2], b);
+  EXPECT_EQ(planner.Target(a), 2);
+}
+
+TEST(IoAwarePlannerTest, MigratesCorrectly) {
+  Database db(testing::SmallDbOptions(4));
+  WorkloadParams params = testing::SmallWorkload(2);
+  params.glue_factor = 0.3;  // plenty of external parents
+  BuiltGraph graph;
+  GraphBuilder builder(&db);
+  ASSERT_TRUE(builder.Build(params, &graph).ok());
+
+  CopyOutPlanner base(4);
+  IoAwarePlanner planner(&base, &db.erts().For(1));
+  ReorgStats stats;
+  ASSERT_TRUE(db.RunIra(1, &planner, IraOptions{}, &stats).ok());
+  EXPECT_EQ(stats.objects_migrated, params.objects_per_partition);
+  EXPECT_EQ(testing::CountDanglingRefs(&db.store()), 0);
+  EXPECT_EQ(testing::CountErtDiscrepancies(&db.store(), &db.erts()), 0);
+}
+
+TEST(IoAwarePlannerTest, BeatsAddressOrderOnFetches) {
+  Database db(testing::SmallDbOptions(4));
+  WorkloadParams params = testing::SmallWorkload(3);
+  params.glue_factor = 0.3;
+  BuiltGraph graph;
+  GraphBuilder builder(&db);
+  ASSERT_TRUE(builder.Build(params, &graph).ok());
+  db.analyzer().Sync();
+
+  Entries ert = db.erts().For(1).Entries();
+  std::vector<ObjectId> objects;
+  db.store().partition(1).ForEachLiveObject([&](uint64_t off) {
+    objects.push_back(ObjectId(1, off));
+  });
+
+  std::vector<ObjectId> address_order = objects;
+  std::sort(address_order.begin(), address_order.end());
+  CopyOutPlanner base(4);
+  IoAwarePlanner planner(&base, &db.erts().For(1));
+  std::vector<ObjectId> io_order = objects;
+  planner.Order(&io_order);
+
+  for (size_t buf : {4u, 16u, 64u}) {
+    uint64_t addr = CountExternalParentFetches(address_order, ert, buf);
+    uint64_t io = CountExternalParentFetches(io_order, ert, buf);
+    EXPECT_LE(io, addr) << "buffer " << buf;
+  }
+  EXPECT_LT(CountExternalLockAcquisitions(io_order, ert),
+            CountExternalLockAcquisitions(address_order, ert));
+}
+
+}  // namespace
+}  // namespace brahma

@@ -1,0 +1,217 @@
+#include "txn/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace brahma {
+namespace {
+
+using namespace std::chrono_literals;
+
+const ObjectId kObj(1, 64);
+const ObjectId kObj2(1, 128);
+
+TEST(LockManagerTest, SharedLocksCompatible) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, kObj, LockMode::kShared, 100ms).ok());
+  EXPECT_TRUE(lm.Acquire(2, kObj, LockMode::kShared, 100ms).ok());
+  LockMode m;
+  EXPECT_TRUE(lm.IsHeld(1, kObj, &m));
+  EXPECT_EQ(m, LockMode::kShared);
+  EXPECT_TRUE(lm.IsHeld(2, kObj));
+}
+
+TEST(LockManagerTest, ExclusiveConflicts) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, kObj, LockMode::kExclusive, 100ms).ok());
+  EXPECT_TRUE(lm.Acquire(2, kObj, LockMode::kShared, 50ms).IsTimedOut());
+  EXPECT_TRUE(lm.Acquire(3, kObj, LockMode::kExclusive, 50ms).IsTimedOut());
+  EXPECT_FALSE(lm.IsHeld(2, kObj));
+}
+
+TEST(LockManagerTest, ReleaseWakesWaiter) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, kObj, LockMode::kExclusive, 100ms).ok());
+  std::atomic<bool> got{false};
+  std::thread t([&]() {
+    EXPECT_TRUE(lm.Acquire(2, kObj, LockMode::kExclusive, 2000ms).ok());
+    got.store(true);
+  });
+  std::this_thread::sleep_for(30ms);
+  EXPECT_FALSE(got.load());
+  lm.Release(1, kObj);
+  t.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(LockManagerTest, ReentrantAcquire) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, kObj, LockMode::kShared, 100ms).ok());
+  EXPECT_TRUE(lm.Acquire(1, kObj, LockMode::kShared, 100ms).ok());
+  ASSERT_TRUE(lm.Acquire(2, kObj2, LockMode::kExclusive, 100ms).ok());
+  EXPECT_TRUE(lm.Acquire(2, kObj2, LockMode::kShared, 100ms).ok());  // weaker
+  EXPECT_TRUE(lm.Acquire(2, kObj2, LockMode::kExclusive, 100ms).ok());
+}
+
+TEST(LockManagerTest, UpgradeSoleHolder) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, kObj, LockMode::kShared, 100ms).ok());
+  EXPECT_TRUE(lm.Acquire(1, kObj, LockMode::kExclusive, 100ms).ok());
+  LockMode m;
+  ASSERT_TRUE(lm.IsHeld(1, kObj, &m));
+  EXPECT_EQ(m, LockMode::kExclusive);
+  // Another txn can't get in now.
+  EXPECT_TRUE(lm.Acquire(2, kObj, LockMode::kShared, 30ms).IsTimedOut());
+}
+
+TEST(LockManagerTest, UpgradeWaitsForOtherReaders) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, kObj, LockMode::kShared, 100ms).ok());
+  ASSERT_TRUE(lm.Acquire(2, kObj, LockMode::kShared, 100ms).ok());
+  std::atomic<bool> upgraded{false};
+  std::thread t([&]() {
+    EXPECT_TRUE(lm.Acquire(1, kObj, LockMode::kExclusive, 2000ms).ok());
+    upgraded.store(true);
+  });
+  std::this_thread::sleep_for(30ms);
+  EXPECT_FALSE(upgraded.load());
+  lm.Release(2, kObj);
+  t.join();
+  EXPECT_TRUE(upgraded.load());
+}
+
+TEST(LockManagerTest, UpgradeTimeoutKeepsSharedLock) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, kObj, LockMode::kShared, 100ms).ok());
+  ASSERT_TRUE(lm.Acquire(2, kObj, LockMode::kShared, 100ms).ok());
+  EXPECT_TRUE(lm.Acquire(1, kObj, LockMode::kExclusive, 30ms).IsTimedOut());
+  LockMode m;
+  ASSERT_TRUE(lm.IsHeld(1, kObj, &m));
+  EXPECT_EQ(m, LockMode::kShared);  // did not lose what it had
+}
+
+TEST(LockManagerTest, UpgradeDeadlockResolvedByTimeout) {
+  // Two readers both try to upgrade: neither can; timeouts break the tie.
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, kObj, LockMode::kShared, 100ms).ok());
+  ASSERT_TRUE(lm.Acquire(2, kObj, LockMode::kShared, 100ms).ok());
+  std::atomic<int> timeouts{0};
+  std::thread t1([&]() {
+    if (lm.Acquire(1, kObj, LockMode::kExclusive, 200ms).IsTimedOut()) {
+      ++timeouts;
+    }
+  });
+  std::thread t2([&]() {
+    if (lm.Acquire(2, kObj, LockMode::kExclusive, 200ms).IsTimedOut()) {
+      ++timeouts;
+    }
+  });
+  t1.join();
+  t2.join();
+  EXPECT_GE(timeouts.load(), 1);
+}
+
+TEST(LockManagerTest, FifoNoBarging) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, kObj, LockMode::kExclusive, 100ms).ok());
+  std::atomic<bool> writer_got{false};
+  std::atomic<bool> reader_got{false};
+  std::thread writer([&]() {
+    ASSERT_TRUE(lm.Acquire(2, kObj, LockMode::kExclusive, 5000ms).ok());
+    writer_got.store(true);
+    std::this_thread::sleep_for(50ms);
+    lm.Release(2, kObj);
+  });
+  std::this_thread::sleep_for(20ms);  // writer is now queued
+  std::thread reader([&]() {
+    ASSERT_TRUE(lm.Acquire(3, kObj, LockMode::kShared, 5000ms).ok());
+    reader_got.store(true);
+  });
+  std::this_thread::sleep_for(20ms);
+  // Reader must not barge past the queued writer while txn 1 holds X...
+  EXPECT_FALSE(reader_got.load());
+  lm.Release(1, kObj);
+  writer.join();
+  reader.join();
+  EXPECT_TRUE(writer_got.load());
+  EXPECT_TRUE(reader_got.load());
+}
+
+TEST(LockManagerTest, TimeoutRemovesWaiterAndUnblocksOthers) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, kObj, LockMode::kShared, 100ms).ok());
+  // Writer queues, then times out.
+  EXPECT_TRUE(lm.Acquire(2, kObj, LockMode::kExclusive, 50ms).IsTimedOut());
+  // With the dead writer gone, a reader can be granted immediately.
+  EXPECT_TRUE(lm.Acquire(3, kObj, LockMode::kShared, 50ms).ok());
+}
+
+TEST(LockManagerTest, NumLockedObjectsCleansUp) {
+  LockManager lm;
+  EXPECT_EQ(lm.NumLockedObjects(), 0u);
+  ASSERT_TRUE(lm.Acquire(1, kObj, LockMode::kShared, 100ms).ok());
+  ASSERT_TRUE(lm.Acquire(1, kObj2, LockMode::kExclusive, 100ms).ok());
+  EXPECT_EQ(lm.NumLockedObjects(), 2u);
+  lm.Release(1, kObj);
+  lm.Release(1, kObj2);
+  EXPECT_EQ(lm.NumLockedObjects(), 0u);
+}
+
+TEST(LockManagerTest, HistoryTracksAndForgets) {
+  LockManager lm;
+  lm.set_history_enabled(true);
+  ASSERT_TRUE(lm.Acquire(1, kObj, LockMode::kShared, 100ms).ok());
+  lm.Release(1, kObj);  // lock released, history remains
+  std::vector<TxnId> h = lm.HistoricalHolders(kObj, /*except=*/99);
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_TRUE(lm.HistoricalHolders(kObj, /*except=*/1).empty());
+  lm.ForgetTxn(1, {kObj});
+  EXPECT_TRUE(lm.HistoricalHolders(kObj, 99).empty());
+}
+
+TEST(LockManagerTest, HistoryDisabledByDefault) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, kObj, LockMode::kShared, 100ms).ok());
+  EXPECT_TRUE(lm.HistoricalHolders(kObj, 99).empty());
+}
+
+TEST(LockManagerTest, ClearAllState) {
+  LockManager lm;
+  lm.set_history_enabled(true);
+  ASSERT_TRUE(lm.Acquire(1, kObj, LockMode::kExclusive, 100ms).ok());
+  lm.ClearAllState();
+  EXPECT_EQ(lm.NumLockedObjects(), 0u);
+  EXPECT_TRUE(lm.Acquire(2, kObj, LockMode::kExclusive, 50ms).ok());
+}
+
+TEST(LockManagerTest, ConcurrentStressNoLostExclusion) {
+  LockManager lm;
+  std::atomic<int> in_critical{0};
+  std::atomic<int> violations{0};
+  std::atomic<long> total{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t]() {
+      TxnId txn = 100 + t;
+      for (int i = 0; i < 300; ++i) {
+        if (lm.Acquire(txn, kObj, LockMode::kExclusive, 2000ms).ok()) {
+          if (in_critical.fetch_add(1) != 0) violations.fetch_add(1);
+          total.fetch_add(1);
+          in_critical.fetch_sub(1);
+          lm.Release(txn, kObj);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_GT(total.load(), 0);
+  EXPECT_EQ(lm.NumLockedObjects(), 0u);
+}
+
+}  // namespace
+}  // namespace brahma

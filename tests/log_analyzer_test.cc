@@ -1,0 +1,182 @@
+#include "core/log_analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "tests/test_util.h"
+
+namespace brahma {
+namespace {
+
+class LogAnalyzerTest : public ::testing::TestWithParam<LogAnalyzer::Mode> {
+ protected:
+  LogAnalyzerTest() {
+    DatabaseOptions opt = testing::SmallDbOptions();
+    opt.analyzer_mode = GetParam();
+    db_ = std::make_unique<Database>(opt);
+  }
+
+  // Creates object in partition p, committed.
+  ObjectId Create(PartitionId p, uint32_t num_refs = 2) {
+    auto txn = db_->Begin();
+    ObjectId oid;
+    EXPECT_TRUE(txn->CreateObject(p, num_refs, 8, &oid).ok());
+    txn->Commit();
+    return oid;
+  }
+
+  void SetRefCommitted(ObjectId parent, uint32_t slot, ObjectId child) {
+    auto txn = db_->Begin();
+    ASSERT_TRUE(txn->Lock(parent, LockMode::kExclusive).ok());
+    ASSERT_TRUE(txn->SetRef(parent, slot, child).ok());
+    txn->Commit();
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_P(LogAnalyzerTest, CrossPartitionInsertLandsInErt) {
+  ObjectId parent = Create(1);
+  ObjectId child = Create(2);
+  SetRefCommitted(parent, 0, child);
+  db_->analyzer().Sync();
+  EXPECT_TRUE(db_->erts().For(2).HasEntry(child, parent));
+  EXPECT_EQ(db_->erts().For(1).Size(), 0u);
+}
+
+TEST_P(LogAnalyzerTest, IntraPartitionRefIgnoredByErt) {
+  ObjectId parent = Create(1);
+  ObjectId child = Create(1);
+  SetRefCommitted(parent, 0, child);
+  db_->analyzer().Sync();
+  EXPECT_EQ(db_->erts().For(1).Size(), 0u);
+}
+
+TEST_P(LogAnalyzerTest, DeleteRemovesErtEntry) {
+  ObjectId parent = Create(1);
+  ObjectId child = Create(2);
+  SetRefCommitted(parent, 0, child);
+  SetRefCommitted(parent, 0, ObjectId::Invalid());
+  db_->analyzer().Sync();
+  EXPECT_FALSE(db_->erts().For(2).HasEntry(child, parent));
+}
+
+TEST_P(LogAnalyzerTest, OverwriteMovesErtEntry) {
+  ObjectId parent = Create(1);
+  ObjectId c1 = Create(2);
+  ObjectId c2 = Create(3);
+  SetRefCommitted(parent, 0, c1);
+  SetRefCommitted(parent, 0, c2);  // old deleted + new inserted in one op
+  db_->analyzer().Sync();
+  EXPECT_FALSE(db_->erts().For(2).HasEntry(c1, parent));
+  EXPECT_TRUE(db_->erts().For(3).HasEntry(c2, parent));
+}
+
+TEST_P(LogAnalyzerTest, AbortRestoresErt) {
+  ObjectId parent = Create(1);
+  ObjectId child = Create(2);
+  SetRefCommitted(parent, 0, child);
+  {
+    auto txn = db_->Begin();
+    ASSERT_TRUE(txn->Lock(parent, LockMode::kExclusive).ok());
+    ASSERT_TRUE(txn->SetRef(parent, 0, ObjectId::Invalid()).ok());
+    txn->Abort();  // CLR reinserts the reference
+  }
+  db_->analyzer().Sync();
+  EXPECT_TRUE(db_->erts().For(2).HasEntry(child, parent));
+}
+
+TEST_P(LogAnalyzerTest, FreeDropsOutgoingErtEntries) {
+  ObjectId parent = Create(1);
+  ObjectId child = Create(2);
+  SetRefCommitted(parent, 0, child);
+  {
+    auto txn = db_->Begin(LogSource::kUser);
+    ASSERT_TRUE(txn->Lock(parent, LockMode::kExclusive).ok());
+    ASSERT_TRUE(txn->FreeObject(parent).ok());
+    txn->Commit();
+  }
+  db_->analyzer().Sync();
+  EXPECT_FALSE(db_->erts().For(2).HasEntry(child, parent));
+}
+
+TEST_P(LogAnalyzerTest, TrtNotesOnlyEnabledPartition) {
+  ObjectId parent = Create(1);
+  ObjectId c2 = Create(2);
+  ObjectId c3 = Create(3);
+  db_->trt().Enable(2, true);
+  SetRefCommitted(parent, 0, c2);
+  SetRefCommitted(parent, 1, c3);
+  db_->analyzer().Sync();
+  EXPECT_TRUE(db_->trt().HasTuplesFor(c2));
+  EXPECT_FALSE(db_->trt().HasTuplesFor(c3));
+  auto t = db_->trt().AnyTupleFor(c2);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->action, TrtTuple::Action::kInsert);
+  EXPECT_EQ(t->parent, parent);
+}
+
+TEST_P(LogAnalyzerTest, TrtNotesDeletes) {
+  ObjectId parent = Create(1);
+  ObjectId child = Create(2);
+  SetRefCommitted(parent, 0, child);
+  db_->analyzer().Sync();  // the pre-enable insert must not land in TRT
+  db_->trt().Enable(2, /*purge=*/false);
+  SetRefCommitted(parent, 0, ObjectId::Invalid());
+  db_->analyzer().Sync();
+  auto t = db_->trt().AnyTupleFor(child);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->action, TrtTuple::Action::kDelete);
+}
+
+TEST_P(LogAnalyzerTest, ReorgRecordsSkipped) {
+  ObjectId parent = Create(1);
+  ObjectId child = Create(2);
+  db_->trt().Enable(2, true);
+  {
+    auto txn = db_->Begin(LogSource::kReorg);
+    ASSERT_TRUE(txn->Lock(parent, LockMode::kExclusive).ok());
+    ASSERT_TRUE(txn->SetRef(parent, 0, child).ok());
+    txn->Commit();
+  }
+  db_->analyzer().Sync();
+  EXPECT_FALSE(db_->erts().For(2).HasEntry(child, parent));
+  EXPECT_FALSE(db_->trt().HasTuplesFor(child));
+}
+
+TEST_P(LogAnalyzerTest, CreateWithContentsNotesRefs) {
+  ObjectId child = Create(2);
+  db_->trt().Enable(2, true);
+  ObjectId parent;
+  {
+    auto txn = db_->Begin();
+    std::vector<ObjectId> refs{child, ObjectId::Invalid()};
+    ASSERT_TRUE(
+        txn->CreateObjectWithContents(1, refs, std::vector<uint8_t>(8),
+                                      &parent)
+            .ok());
+    txn->Commit();
+  }
+  db_->analyzer().Sync();
+  EXPECT_TRUE(db_->erts().For(2).HasEntry(child, parent));
+  EXPECT_TRUE(db_->trt().HasTuplesFor(child));
+}
+
+TEST_P(LogAnalyzerTest, SyncWaitsForProcessing) {
+  // Append a burst and verify Sync leaves nothing behind.
+  ObjectId parent = Create(1);
+  ObjectId child = Create(2);
+  for (int i = 0; i < 200; ++i) {
+    SetRefCommitted(parent, 0, i % 2 == 0 ? ObjectId::Invalid() : child);
+  }
+  db_->analyzer().Sync();
+  EXPECT_GE(db_->analyzer().processed_lsn(), db_->log().last_lsn());
+  EXPECT_TRUE(db_->erts().For(2).HasEntry(child, parent));
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, LogAnalyzerTest,
+                         ::testing::Values(LogAnalyzer::Mode::kSynchronous,
+                                           LogAnalyzer::Mode::kThread));
+
+}  // namespace
+}  // namespace brahma

@@ -1,0 +1,142 @@
+#include "wal/log_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace brahma {
+namespace {
+
+LogRecord MakeSetRef(TxnId txn, ObjectId oid) {
+  LogRecord rec;
+  rec.type = LogRecordType::kSetRef;
+  rec.txn = txn;
+  rec.oid = oid;
+  return rec;
+}
+
+TEST(LogManagerTest, LsnsAreSequential) {
+  LogManager log;
+  EXPECT_EQ(log.Append(MakeSetRef(1, ObjectId(1, 16))), 1u);
+  EXPECT_EQ(log.Append(MakeSetRef(1, ObjectId(1, 32))), 2u);
+  EXPECT_EQ(log.last_lsn(), 2u);
+}
+
+TEST(LogManagerTest, FlushAdvancesStable) {
+  LogManager log;
+  log.Append(MakeSetRef(1, ObjectId(1, 16)));
+  log.Append(MakeSetRef(1, ObjectId(1, 32)));
+  EXPECT_EQ(log.stable_lsn(), 0u);
+  log.Flush(1);
+  EXPECT_EQ(log.stable_lsn(), 1u);
+  log.Flush(10);  // clamped to last appended
+  EXPECT_EQ(log.stable_lsn(), 2u);
+}
+
+TEST(LogManagerTest, ReadAfterCursor) {
+  LogManager log;
+  for (int i = 0; i < 5; ++i) log.Append(MakeSetRef(1, ObjectId(1, 16 + 8 * i)));
+  std::vector<LogRecord> out;
+  Lsn hi = log.ReadAfter(2, &out);
+  EXPECT_EQ(hi, 5u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].lsn, 3u);
+  out.clear();
+  EXPECT_EQ(log.ReadAfter(5, &out), 5u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(LogManagerTest, GetRecord) {
+  LogManager log;
+  log.Append(MakeSetRef(7, ObjectId(2, 64)));
+  LogRecord rec;
+  ASSERT_TRUE(log.GetRecord(1, &rec));
+  EXPECT_EQ(rec.txn, 7u);
+  EXPECT_EQ(rec.oid, ObjectId(2, 64));
+  EXPECT_FALSE(log.GetRecord(2, &rec));
+  EXPECT_FALSE(log.GetRecord(0, &rec));
+}
+
+TEST(LogManagerTest, DiscardUnflushed) {
+  LogManager log;
+  for (int i = 0; i < 5; ++i) log.Append(MakeSetRef(1, ObjectId(1, 16)));
+  log.Flush(3);
+  log.DiscardUnflushed();
+  EXPECT_EQ(log.last_lsn(), 3u);
+  LogRecord rec;
+  EXPECT_FALSE(log.GetRecord(4, &rec));
+  // New appends continue after the stable point.
+  EXPECT_EQ(log.Append(MakeSetRef(1, ObjectId(1, 16))), 4u);
+}
+
+TEST(LogManagerTest, StableRecordsFrom) {
+  LogManager log;
+  for (int i = 0; i < 6; ++i) log.Append(MakeSetRef(1, ObjectId(1, 16)));
+  log.Flush(4);
+  std::vector<LogRecord> recs = log.StableRecordsFrom(2);
+  ASSERT_EQ(recs.size(), 3u);  // lsn 2..4
+  EXPECT_EQ(recs.front().lsn, 2u);
+  EXPECT_EQ(recs.back().lsn, 4u);
+}
+
+TEST(LogManagerTest, Truncate) {
+  LogManager log;
+  for (int i = 0; i < 5; ++i) log.Append(MakeSetRef(1, ObjectId(1, 16)));
+  log.Flush(5);
+  log.Truncate(3);
+  LogRecord rec;
+  EXPECT_FALSE(log.GetRecord(2, &rec));
+  EXPECT_TRUE(log.GetRecord(3, &rec));
+  std::vector<LogRecord> out;
+  EXPECT_EQ(log.ReadAfter(0, &out), 5u);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(LogManagerTest, AppendObserverSeesEveryRecord) {
+  LogManager log;
+  std::vector<Lsn> seen;
+  log.SetAppendObserver([&seen](const LogRecord& r) { seen.push_back(r.lsn); });
+  log.Append(MakeSetRef(1, ObjectId(1, 16)));
+  log.Append(MakeSetRef(2, ObjectId(1, 32)));
+  EXPECT_EQ(seen, (std::vector<Lsn>{1, 2}));
+}
+
+TEST(LogManagerTest, ConcurrentAppendsGetDistinctLsns) {
+  LogManager log;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<Lsn>> got(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&log, &got, t]() {
+      for (int i = 0; i < 500; ++i) {
+        got[t].push_back(log.Append(MakeSetRef(t, ObjectId(1, 16))));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<Lsn> all;
+  for (auto& v : got) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  for (size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i + 1);
+}
+
+TEST(LogManagerTest, FlushLatencyIsPaid) {
+  LogManager log(std::chrono::microseconds(20000));
+  log.Append(MakeSetRef(1, ObjectId(1, 16)));
+  auto start = std::chrono::steady_clock::now();
+  log.Flush(1);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            15);
+  // Flushing an already-stable prefix pays nothing.
+  start = std::chrono::steady_clock::now();
+  log.Flush(1);
+  elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            10);
+}
+
+}  // namespace
+}  // namespace brahma

@@ -1,0 +1,81 @@
+#include "storage/oid_map.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace brahma {
+namespace {
+
+TEST(OidMapTest, RegisterResolve) {
+  OidMap map;
+  LogicalId id = map.Register(ObjectId(1, 64));
+  EXPECT_NE(id, kInvalidLogicalId);
+  ObjectId phys;
+  ASSERT_TRUE(map.Resolve(id, &phys));
+  EXPECT_EQ(phys, ObjectId(1, 64));
+  EXPECT_EQ(map.Size(), 1u);
+}
+
+TEST(OidMapTest, ResolveUnknownFails) {
+  OidMap map;
+  ObjectId phys;
+  EXPECT_FALSE(map.Resolve(999, &phys));
+}
+
+TEST(OidMapTest, RebindIsTheWholeMigration) {
+  OidMap map;
+  LogicalId id = map.Register(ObjectId(1, 64));
+  EXPECT_TRUE(map.Rebind(id, ObjectId(5, 128)));
+  ObjectId phys;
+  ASSERT_TRUE(map.Resolve(id, &phys));
+  EXPECT_EQ(phys, ObjectId(5, 128));
+  EXPECT_FALSE(map.Rebind(12345, ObjectId(1, 16)));
+}
+
+TEST(OidMapTest, Unregister) {
+  OidMap map;
+  LogicalId id = map.Register(ObjectId(1, 64));
+  EXPECT_TRUE(map.Unregister(id));
+  EXPECT_FALSE(map.Unregister(id));
+  ObjectId phys;
+  EXPECT_FALSE(map.Resolve(id, &phys));
+}
+
+TEST(OidMapTest, IdsAreUnique) {
+  OidMap map;
+  std::vector<LogicalId> ids;
+  for (int i = 0; i < 1000; ++i) ids.push_back(map.Register(ObjectId(1, 16)));
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(OidMapTest, ConcurrentRegisterResolveRebind) {
+  OidMap map;
+  const int kThreads = 6, kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, t]() {
+      std::vector<LogicalId> mine;
+      for (int i = 0; i < kPerThread; ++i) {
+        LogicalId id = map.Register(ObjectId(1, 16 + 8 * t));
+        mine.push_back(id);
+        ObjectId phys;
+        ASSERT_TRUE(map.Resolve(id, &phys));
+        if (i % 3 == 0) {
+          ASSERT_TRUE(map.Rebind(id, ObjectId(2, 16)));
+        }
+      }
+      for (LogicalId id : mine) {
+        ObjectId phys;
+        ASSERT_TRUE(map.Resolve(id, &phys));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(map.Size(), static_cast<size_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace brahma

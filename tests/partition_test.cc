@@ -1,0 +1,210 @@
+#include "storage/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace brahma {
+namespace {
+
+constexpr uint64_t kCap = 1 << 20;
+
+TEST(PartitionTest, AllocateInitializesObject) {
+  Partition part(1, kCap);
+  uint64_t off = 0;
+  ASSERT_TRUE(part.Allocate(3, 16, &off).ok());
+  ObjectHeader* h = part.HeaderAt(off);
+  ASSERT_NE(h, nullptr);
+  EXPECT_TRUE(h->IsLive());
+  EXPECT_EQ(h->num_refs, 3u);
+  EXPECT_EQ(h->data_size, 16u);
+  EXPECT_EQ(h->self, ObjectId(1, off).raw());
+  for (uint32_t i = 0; i < 3; ++i) EXPECT_FALSE(h->refs()[i].valid());
+  for (uint32_t i = 0; i < 16; ++i) EXPECT_EQ(h->data()[i], 0);
+}
+
+TEST(PartitionTest, BlockSizeAligned) {
+  EXPECT_EQ(ObjectHeader::BlockSize(0, 0) % 8, 0u);
+  EXPECT_EQ(ObjectHeader::BlockSize(3, 13) % 8, 0u);
+  EXPECT_GE(ObjectHeader::BlockSize(2, 10),
+            sizeof(ObjectHeader) + 2 * sizeof(ObjectId) + 10);
+}
+
+TEST(PartitionTest, SequentialAllocationsDontOverlap) {
+  Partition part(1, kCap);
+  std::vector<uint64_t> offsets;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t off = 0;
+    ASSERT_TRUE(part.Allocate(2, 32, &off).ok());
+    offsets.push_back(off);
+  }
+  uint32_t block = ObjectHeader::BlockSize(2, 32);
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    EXPECT_GE(offsets[i], offsets[i - 1] + block);
+  }
+}
+
+TEST(PartitionTest, FreeAndFirstFitReuse) {
+  Partition part(1, kCap);
+  uint64_t a, b, c;
+  ASSERT_TRUE(part.Allocate(2, 32, &a).ok());
+  ASSERT_TRUE(part.Allocate(2, 32, &b).ok());
+  ASSERT_TRUE(part.Allocate(2, 32, &c).ok());
+  ASSERT_TRUE(part.Free(b).ok());
+  uint64_t d = 0;
+  ASSERT_TRUE(part.Allocate(2, 32, &d).ok());
+  EXPECT_EQ(d, b);  // first fit reuses the lowest hole
+}
+
+TEST(PartitionTest, FirstFitPrefersLowestHole) {
+  Partition part(1, kCap);
+  uint64_t offs[5];
+  for (auto& o : offs) ASSERT_TRUE(part.Allocate(2, 32, &o).ok());
+  ASSERT_TRUE(part.Free(offs[3]).ok());
+  ASSERT_TRUE(part.Free(offs[1]).ok());
+  uint64_t d = 0;
+  ASSERT_TRUE(part.Allocate(2, 32, &d).ok());
+  EXPECT_EQ(d, offs[1]);
+}
+
+TEST(PartitionTest, CoalescingMergesNeighbours) {
+  Partition part(1, kCap);
+  uint64_t offs[3];
+  for (auto& o : offs) ASSERT_TRUE(part.Allocate(1, 8, &o).ok());
+  ASSERT_TRUE(part.Free(offs[0]).ok());
+  ASSERT_TRUE(part.Free(offs[2]).ok());
+  ASSERT_TRUE(part.Free(offs[1]).ok());
+  FragmentationStats stats = part.GetFragmentationStats();
+  EXPECT_EQ(stats.num_holes, 1u);  // all three coalesced
+  // A larger object now fits into the coalesced hole.
+  uint64_t big = 0;
+  ASSERT_TRUE(part.Allocate(2, 64, &big).ok());
+  EXPECT_EQ(big, offs[0]);
+}
+
+TEST(PartitionTest, AllocateAtCarvesHole) {
+  Partition part(1, kCap);
+  uint64_t offs[4];
+  for (auto& o : offs) ASSERT_TRUE(part.Allocate(2, 32, &o).ok());
+  for (auto o : offs) ASSERT_TRUE(part.Free(o).ok());
+  // Re-place an object exactly where the third one was (recovery redo).
+  ASSERT_TRUE(part.AllocateAt(offs[2], 2, 32).ok());
+  ObjectHeader* h = part.HeaderAt(offs[2]);
+  EXPECT_TRUE(h->IsLive());
+  EXPECT_EQ(h->self, ObjectId(1, offs[2]).raw());
+  // The carved hole remainder is still allocatable.
+  uint64_t d = 0;
+  ASSERT_TRUE(part.Allocate(2, 32, &d).ok());
+  EXPECT_EQ(d, offs[0]);
+}
+
+TEST(PartitionTest, AllocateAtBeyondHighWater) {
+  Partition part(1, kCap);
+  uint64_t target = Partition::kBaseOffset + 1024;
+  ASSERT_TRUE(part.AllocateAt(target, 1, 8).ok());
+  EXPECT_TRUE(part.ValidateObject(ObjectId(1, target)));
+  // The skipped range became a hole usable by normal allocation.
+  uint64_t off = 0;
+  ASSERT_TRUE(part.Allocate(1, 8, &off).ok());
+  EXPECT_LT(off, target);
+}
+
+TEST(PartitionTest, AllocateAtRejectsOccupied) {
+  Partition part(1, kCap);
+  uint64_t a = 0;
+  ASSERT_TRUE(part.Allocate(2, 32, &a).ok());
+  EXPECT_FALSE(part.AllocateAt(a, 2, 32).ok());
+}
+
+TEST(PartitionTest, NoSpaceWhenFull) {
+  Partition part(1, 4096);
+  uint64_t off = 0;
+  Status s;
+  int count = 0;
+  while ((s = part.Allocate(2, 64, &off)).ok()) ++count;
+  EXPECT_TRUE(s.IsNoSpace());
+  EXPECT_GT(count, 10);
+}
+
+TEST(PartitionTest, FreeOfFreeBlockFails) {
+  Partition part(1, kCap);
+  uint64_t a = 0;
+  ASSERT_TRUE(part.Allocate(2, 32, &a).ok());
+  ASSERT_TRUE(part.Free(a).ok());
+  EXPECT_TRUE(part.Free(a).IsCorruption());
+}
+
+TEST(PartitionTest, ValidateObject) {
+  Partition part(3, kCap);
+  uint64_t a = 0;
+  ASSERT_TRUE(part.Allocate(2, 32, &a).ok());
+  EXPECT_TRUE(part.ValidateObject(ObjectId(3, a)));
+  EXPECT_FALSE(part.ValidateObject(ObjectId(3, a + 8)));
+  ASSERT_TRUE(part.Free(a).ok());
+  EXPECT_FALSE(part.ValidateObject(ObjectId(3, a)));
+}
+
+TEST(PartitionTest, ForEachLiveObjectWalksHolesCorrectly) {
+  Partition part(1, kCap);
+  std::vector<uint64_t> offs(10);
+  for (auto& o : offs) ASSERT_TRUE(part.Allocate(2, 32, &o).ok());
+  for (size_t i = 0; i < offs.size(); i += 2) ASSERT_TRUE(part.Free(offs[i]).ok());
+  std::vector<uint64_t> live;
+  part.ForEachLiveObject([&live](uint64_t o) { live.push_back(o); });
+  ASSERT_EQ(live.size(), 5u);
+  for (size_t i = 0; i < live.size(); ++i) EXPECT_EQ(live[i], offs[2 * i + 1]);
+}
+
+TEST(PartitionTest, FragmentationStats) {
+  Partition part(1, kCap);
+  std::vector<uint64_t> offs(8);
+  for (auto& o : offs) ASSERT_TRUE(part.Allocate(2, 32, &o).ok());
+  FragmentationStats none = part.GetFragmentationStats();
+  EXPECT_EQ(none.free_bytes, 0u);
+  EXPECT_EQ(none.FragmentationRatio(), 0.0);
+  EXPECT_EQ(none.num_live_objects, 8u);
+
+  for (size_t i = 0; i < offs.size(); i += 2) ASSERT_TRUE(part.Free(offs[i]).ok());
+  FragmentationStats frag = part.GetFragmentationStats();
+  EXPECT_EQ(frag.num_holes, 4u);
+  EXPECT_GT(frag.free_bytes, 0u);
+  EXPECT_GT(frag.FragmentationRatio(), 0.5);
+  EXPECT_EQ(frag.num_live_objects, 4u);
+}
+
+TEST(PartitionTest, SnapshotRestoreRoundTrip) {
+  Partition part(1, kCap);
+  uint64_t a, b;
+  ASSERT_TRUE(part.Allocate(2, 32, &a).ok());
+  ASSERT_TRUE(part.Allocate(2, 32, &b).ok());
+  ObjectHeader* h = part.HeaderAt(a);
+  h->refs()[0] = ObjectId(1, b);
+  h->data()[5] = 0xAB;
+  Partition::Image img = part.Snapshot();
+
+  // Mutate after the snapshot.
+  ASSERT_TRUE(part.Free(b).ok());
+  h->data()[5] = 0;
+
+  part.Restore(img);
+  EXPECT_TRUE(part.ValidateObject(ObjectId(1, b)));
+  ObjectHeader* h2 = part.HeaderAt(a);
+  EXPECT_EQ(h2->refs()[0], ObjectId(1, b));
+  EXPECT_EQ(h2->data()[5], 0xAB);
+}
+
+TEST(PartitionTest, RestoreEmptyImageWipes) {
+  Partition part(1, kCap);
+  uint64_t a = 0;
+  ASSERT_TRUE(part.Allocate(2, 32, &a).ok());
+  Partition::Image empty;
+  empty.high_water = Partition::kBaseOffset;
+  part.Restore(empty);
+  EXPECT_FALSE(part.ValidateObject(ObjectId(1, a)));
+  uint64_t b = 0;
+  ASSERT_TRUE(part.Allocate(2, 32, &b).ok());
+  EXPECT_EQ(b, Partition::kBaseOffset);
+}
+
+}  // namespace
+}  // namespace brahma

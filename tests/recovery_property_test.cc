@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "core/database.h"
+#include "tests/test_util.h"
+
+namespace brahma {
+namespace {
+
+// Randomized crash-recovery property test: a single-threaded client runs
+// random transactions against the database while a shadow model tracks
+// what each *committed* transaction did. At random points the database
+// crashes (losing everything unflushed) and recovers; the recovered
+// store must equal the model exactly — same live objects, same reference
+// slots, same payloads — regardless of in-flight transactions,
+// checkpoints, or aborts.
+struct ModelObject {
+  std::vector<ObjectId> refs;
+  std::vector<uint8_t> data;
+};
+
+class RecoveryPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecoveryPropertyTest, StoreMatchesModelAcrossCrashes) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Random rng(seed);
+  Database db(testing::SmallDbOptions(3));
+  std::map<ObjectId, ModelObject> model;
+
+  auto random_known = [&]() -> ObjectId {
+    if (model.empty()) return ObjectId::Invalid();
+    auto it = model.begin();
+    std::advance(it, rng.Uniform(model.size()));
+    return it->first;
+  };
+
+  const int kRounds = 60;
+  for (int round = 0; round < kRounds; ++round) {
+    // One transaction of 1..6 random operations; commit or abort.
+    auto txn = db.Begin();
+    std::map<ObjectId, ModelObject> staged = model;  // txn-local view
+    bool ok = true;
+    uint32_t ops = 1 + static_cast<uint32_t>(rng.Uniform(6));
+    for (uint32_t i = 0; i < ops && ok; ++i) {
+      switch (rng.Uniform(3)) {
+        case 0: {  // create
+          PartitionId p = static_cast<PartitionId>(1 + rng.Uniform(3));
+          uint32_t nrefs = 1 + static_cast<uint32_t>(rng.Uniform(3));
+          uint32_t dsize = 8 * (1 + static_cast<uint32_t>(rng.Uniform(3)));
+          ObjectId oid;
+          ok = txn->CreateObject(p, nrefs, dsize, &oid).ok();
+          if (ok) {
+            staged[oid] = ModelObject{
+                std::vector<ObjectId>(nrefs, ObjectId::Invalid()),
+                std::vector<uint8_t>(dsize, 0)};
+          }
+          break;
+        }
+        case 1: {  // set a reference
+          ObjectId oid = random_known();
+          if (!oid.valid() || staged.count(oid) == 0) break;
+          ok = txn->Lock(oid, LockMode::kExclusive).ok();
+          if (!ok) break;
+          uint32_t slot = static_cast<uint32_t>(
+              rng.Uniform(staged[oid].refs.size()));
+          ObjectId target =
+              rng.Bernoulli(0.3) ? ObjectId::Invalid() : random_known();
+          if (target.valid() && staged.count(target) == 0) {
+            target = ObjectId::Invalid();
+          }
+          ok = txn->SetRef(oid, slot, target).ok();
+          if (ok) staged[oid].refs[slot] = target;
+          break;
+        }
+        case 2: {  // rewrite the payload
+          ObjectId oid = random_known();
+          if (!oid.valid() || staged.count(oid) == 0) break;
+          ok = txn->Lock(oid, LockMode::kExclusive).ok();
+          if (!ok) break;
+          std::vector<uint8_t> bytes(staged[oid].data.size());
+          for (auto& b : bytes) b = static_cast<uint8_t>(rng.Next());
+          ok = txn->WriteData(oid, bytes).ok();
+          if (ok) staged[oid].data = bytes;
+          break;
+        }
+      }
+    }
+    if (ok && rng.Bernoulli(0.8)) {
+      ASSERT_TRUE(txn->Commit().ok());
+      model = std::move(staged);  // durable
+    } else {
+      txn->Abort();  // model unchanged
+    }
+
+    if (rng.Bernoulli(0.15)) db.Checkpoint();
+
+    if (rng.Bernoulli(0.2)) {
+      db.SimulateCrash();
+      ASSERT_TRUE(db.Recover().ok());
+      // The recovered store must equal the model exactly.
+      for (const auto& [oid, expect] : model) {
+        const ObjectHeader* h = db.store().Get(oid);
+        ASSERT_NE(h, nullptr) << "missing " << oid.ToString() << " seed "
+                              << seed << " round " << round;
+        ASSERT_EQ(h->num_refs, expect.refs.size());
+        for (uint32_t s = 0; s < h->num_refs; ++s) {
+          EXPECT_EQ(h->refs()[s], expect.refs[s])
+              << oid.ToString() << " slot " << s << " seed " << seed;
+        }
+        ASSERT_EQ(h->data_size, expect.data.size());
+        EXPECT_EQ(std::vector<uint8_t>(h->data(), h->data() + h->data_size),
+                  expect.data)
+            << oid.ToString() << " seed " << seed;
+      }
+      // No extra live objects beyond the model.
+      uint64_t live = 0;
+      for (uint32_t p = 0; p < db.store().num_partitions(); ++p) {
+        live += testing::CountLiveObjects(&db.store(),
+                                          static_cast<PartitionId>(p));
+      }
+      EXPECT_EQ(live, model.size()) << "seed " << seed << " round " << round;
+      EXPECT_EQ(testing::CountErtDiscrepancies(&db.store(), &db.erts()), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryPropertyTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace brahma

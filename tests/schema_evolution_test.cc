@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/database.h"
+#include "core/ira.h"
+#include "tests/test_util.h"
+#include "workload/driver.h"
+#include "workload/graph_builder.h"
+
+namespace brahma {
+namespace {
+
+// Schema evolution (paper Section 1): objects are reshaped as they
+// migrate. These tests use TransformPlanner to grow payloads and
+// add/drop reference slots, and verify the reference graph and the ERTs
+// stay exact.
+class SchemaEvolutionTest : public ::testing::Test {
+ protected:
+  SchemaEvolutionTest() : db_(testing::SmallDbOptions(5)) {}
+
+  void BuildGraph(uint32_t partitions = 2) {
+    params_ = testing::SmallWorkload(partitions);
+    GraphBuilder builder(&db_);
+    ASSERT_TRUE(builder.Build(params_, &graph_).ok());
+  }
+
+  Database db_;
+  WorkloadParams params_;
+  BuiltGraph graph_;
+};
+
+TEST_F(SchemaEvolutionTest, GrowPayload) {
+  BuildGraph();
+  const uint32_t old_size = params_.data_size;
+  TransformPlanner planner(
+      5, [](ObjectId, std::vector<ObjectId>*, std::vector<uint8_t>* data) {
+        data->resize(data->size() + 32, 0xEE);  // append a new field
+      });
+  ReorgStats stats;
+  ASSERT_TRUE(db_.RunIra(1, &planner, IraOptions{}, &stats).ok());
+  EXPECT_EQ(stats.objects_migrated, params_.objects_per_partition);
+  for (const auto& [old_id, new_id] : stats.relocation) {
+    (void)old_id;
+    const ObjectHeader* h = db_.store().Get(new_id);
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->data_size, old_size + 32);
+    EXPECT_EQ(h->data()[old_size], 0xEE);  // new field initialized
+  }
+  EXPECT_EQ(testing::CountDanglingRefs(&db_.store()), 0);
+  EXPECT_EQ(testing::CountErtDiscrepancies(&db_.store(), &db_.erts()), 0);
+}
+
+TEST_F(SchemaEvolutionTest, AddReferenceSlots) {
+  BuildGraph();
+  TransformPlanner planner(
+      5, [](ObjectId, std::vector<ObjectId>* refs, std::vector<uint8_t>*) {
+        refs->resize(refs->size() + 2, ObjectId::Invalid());
+      });
+  ReorgStats stats;
+  ASSERT_TRUE(db_.RunIra(1, &planner, IraOptions{}, &stats).ok());
+  for (const auto& [old_id, new_id] : stats.relocation) {
+    (void)old_id;
+    const ObjectHeader* h = db_.store().Get(new_id);
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->num_refs, WorkloadParams::kNumRefSlots + 2);
+    EXPECT_FALSE(h->refs()[WorkloadParams::kNumRefSlots].valid());
+  }
+  EXPECT_EQ(testing::CountDanglingRefs(&db_.store()), 0);
+  EXPECT_EQ(testing::CountErtDiscrepancies(&db_.store(), &db_.erts()), 0);
+}
+
+TEST_F(SchemaEvolutionTest, DropGlueSlot) {
+  // Dropping the glue slot removes those edges from the graph; the ERTs
+  // of the (former) glue targets must forget the migrated parents.
+  BuildGraph();
+  TransformPlanner planner(
+      5, [](ObjectId, std::vector<ObjectId>* refs, std::vector<uint8_t>*) {
+        refs->resize(WorkloadParams::kGlueSlot);  // keep tree slots only
+      });
+  ReorgStats stats;
+  ASSERT_TRUE(db_.RunIra(1, &planner, IraOptions{}, &stats).ok());
+  for (const auto& [old_id, new_id] : stats.relocation) {
+    (void)old_id;
+    const ObjectHeader* h = db_.store().Get(new_id);
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->num_refs, WorkloadParams::kGlueSlot);
+  }
+  EXPECT_EQ(testing::CountDanglingRefs(&db_.store()), 0);
+  EXPECT_EQ(testing::CountErtDiscrepancies(&db_.store(), &db_.erts()), 0);
+}
+
+TEST_F(SchemaEvolutionTest, TreeStructurePreservedThroughTransform) {
+  BuildGraph();
+  TransformPlanner planner(
+      5, [](ObjectId, std::vector<ObjectId>* refs, std::vector<uint8_t>* data) {
+        refs->resize(refs->size() + 1, ObjectId::Invalid());
+        data->resize(data->size() * 2, 0);
+      });
+  ReorgStats stats;
+  ASSERT_TRUE(db_.RunIra(1, &planner, IraOptions{}, &stats).ok());
+  // Walk from the directory: the whole cluster structure must resolve.
+  auto reachable = testing::CollectReachable(&db_.store());
+  EXPECT_EQ(reachable.size(),
+            1u + params_.num_partitions +
+                static_cast<size_t>(params_.num_partitions) *
+                    params_.objects_per_partition);
+}
+
+TEST_F(SchemaEvolutionTest, UnderConcurrentWorkload) {
+  BuildGraph(3);
+  params_.mpl = 4;
+  std::atomic<bool> done{false};
+  ReorgStats stats;
+  Status st;
+  std::thread reorg([&]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    TransformPlanner planner(
+        5, [](ObjectId, std::vector<ObjectId>*, std::vector<uint8_t>* data) {
+          data->resize(data->size() + 16, 0xAB);
+        });
+    st = db_.RunIra(1, &planner, IraOptions{}, &stats);
+    done.store(true);
+  });
+  WorkloadDriver driver(&db_, params_, graph_);
+  DriverResult run = driver.Run([&]() { return done.load(); }, 0);
+  reorg.join();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_GT(run.committed, 0u);
+  db_.analyzer().Sync();
+  EXPECT_EQ(testing::CountDanglingRefs(&db_.store()), 0);
+  EXPECT_EQ(testing::CountErtDiscrepancies(&db_.store(), &db_.erts()), 0);
+  // Note: concurrent *mutators* with a slot-dropping transform would be a
+  // schema-consistency question for the application; payload growth is
+  // the paper's motivating case and is safe under load.
+}
+
+TEST_F(SchemaEvolutionTest, PqrAlsoTransforms) {
+  BuildGraph();
+  TransformPlanner planner(
+      5, [](ObjectId, std::vector<ObjectId>*, std::vector<uint8_t>* data) {
+        data->resize(data->size() + 8, 0x11);
+      });
+  ReorgStats stats;
+  ASSERT_TRUE(db_.RunPqr(1, &planner, PqrOptions{}, &stats).ok());
+  EXPECT_EQ(stats.objects_migrated, params_.objects_per_partition);
+  EXPECT_EQ(testing::CountDanglingRefs(&db_.store()), 0);
+  EXPECT_EQ(testing::CountErtDiscrepancies(&db_.store(), &db_.erts()), 0);
+}
+
+}  // namespace
+}  // namespace brahma

@@ -1,0 +1,125 @@
+#ifndef BRAHMA_TESTS_TEST_UTIL_H_
+#define BRAHMA_TESTS_TEST_UTIL_H_
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/database.h"
+#include "core/fuzzy_traversal.h"
+#include "workload/graph_builder.h"
+
+namespace brahma {
+namespace testing {
+
+// A small database + workload configuration that builds fast. One spare
+// data partition (the last one) is left empty as a migration destination.
+inline DatabaseOptions SmallDbOptions(uint32_t data_partitions = 4) {
+  DatabaseOptions opt;
+  opt.num_data_partitions = data_partitions;
+  opt.partition_capacity = 4ull << 20;
+  opt.lock_timeout = std::chrono::milliseconds(200);
+  return opt;
+}
+
+inline WorkloadParams SmallWorkload(uint32_t partitions = 3) {
+  WorkloadParams p;
+  p.num_partitions = partitions;       // uses partitions 1..partitions
+  p.objects_per_partition = 85 * 4;    // 4 clusters
+  p.mpl = 4;
+  p.seed = 7;
+  return p;
+}
+
+// Every valid reference stored in any live object must point to a live
+// object with a matching identity. Returns the number of dangling
+// references found (0 = consistent).
+inline int CountDanglingRefs(ObjectStore* store) {
+  int dangling = 0;
+  for (uint32_t p = 0; p < store->num_partitions(); ++p) {
+    Partition& part = store->partition(static_cast<PartitionId>(p));
+    part.ForEachLiveObject([&](uint64_t offset) {
+      const ObjectHeader* h = part.HeaderAt(offset);
+      for (uint32_t i = 0; i < h->num_refs; ++i) {
+        ObjectId r = h->refs()[i];
+        if (r.valid() && !store->Validate(r)) ++dangling;
+      }
+    });
+  }
+  return dangling;
+}
+
+// Objects reachable from the persistent root by following references.
+inline std::unordered_set<ObjectId> CollectReachable(ObjectStore* store) {
+  std::unordered_set<ObjectId> seen;
+  std::deque<ObjectId> queue;
+  ObjectId root = store->persistent_root();
+  if (root.valid() && store->Validate(root)) {
+    seen.insert(root);
+    queue.push_back(root);
+  }
+  std::vector<ObjectId> refs;
+  while (!queue.empty()) {
+    ObjectId cur = queue.front();
+    queue.pop_front();
+    if (!ReadRefsLatched(store, cur, &refs)) continue;
+    for (ObjectId c : refs) {
+      if (store->Validate(c) && seen.insert(c).second) queue.push_back(c);
+    }
+  }
+  return seen;
+}
+
+// Compares every partition's ERT against ground truth computed by a full
+// scan. Returns the number of discrepancies (missing or extra entries,
+// counted with multiplicity collapsed to sets).
+inline int CountErtDiscrepancies(ObjectStore* store, ErtSet* erts) {
+  using Edge = std::pair<ObjectId, ObjectId>;
+  struct EdgeHash {
+    size_t operator()(const Edge& e) const {
+      return ObjectIdHash{}(e.first) * 31 + ObjectIdHash{}(e.second);
+    }
+  };
+  int bad = 0;
+  for (uint32_t p = 0; p < store->num_partitions(); ++p) {
+    std::unordered_set<Edge, EdgeHash> truth;
+    for (uint32_t q = 0; q < store->num_partitions(); ++q) {
+      if (q == p) continue;
+      Partition& part = store->partition(static_cast<PartitionId>(q));
+      part.ForEachLiveObject([&](uint64_t offset) {
+        const ObjectHeader* h = part.HeaderAt(offset);
+        ObjectId parent(static_cast<PartitionId>(q), offset);
+        for (uint32_t i = 0; i < h->num_refs; ++i) {
+          ObjectId child = h->refs()[i];
+          if (child.valid() && child.partition() == p) {
+            truth.insert({child, parent});
+          }
+        }
+      });
+    }
+    std::unordered_set<Edge, EdgeHash> noted;
+    for (const auto& e : erts->For(static_cast<PartitionId>(p)).Entries()) {
+      noted.insert(e);
+    }
+    for (const auto& e : truth) {
+      if (noted.count(e) == 0) ++bad;
+    }
+    for (const auto& e : noted) {
+      if (truth.count(e) == 0) ++bad;
+    }
+  }
+  return bad;
+}
+
+// Counts live objects in a partition.
+inline uint64_t CountLiveObjects(ObjectStore* store, PartitionId p) {
+  uint64_t n = 0;
+  store->partition(p).ForEachLiveObject([&n](uint64_t) { ++n; });
+  return n;
+}
+
+}  // namespace testing
+}  // namespace brahma
+
+#endif  // BRAHMA_TESTS_TEST_UTIL_H_

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "tests/test_util.h"
+#include "workload/driver.h"
+#include "workload/graph_builder.h"
+#include "workload/random_walk.h"
+
+namespace brahma {
+namespace {
+
+TEST(GraphBuilderTest, BuildsPaperStructure) {
+  Database db(testing::SmallDbOptions(4));
+  WorkloadParams params = testing::SmallWorkload(3);
+  BuiltGraph graph;
+  GraphBuilder builder(&db);
+  ASSERT_TRUE(builder.Build(params, &graph).ok());
+
+  EXPECT_EQ(graph.objects_created,
+            static_cast<uint64_t>(params.num_partitions) *
+                params.objects_per_partition);
+  EXPECT_EQ(graph.partition_dirs.size(), params.num_partitions);
+  ASSERT_EQ(graph.cluster_roots.size(), params.num_partitions);
+  for (const auto& roots : graph.cluster_roots) {
+    EXPECT_EQ(roots.size(), params.clusters_per_partition());
+  }
+  // Each data partition holds exactly NUMOBJS objects.
+  for (uint32_t p = 1; p <= params.num_partitions; ++p) {
+    EXPECT_EQ(testing::CountLiveObjects(&db.store(), p),
+              params.objects_per_partition);
+  }
+  // The root partition holds the persistent root + directories.
+  EXPECT_EQ(testing::CountLiveObjects(&db.store(), 0),
+            1u + params.num_partitions);
+}
+
+TEST(GraphBuilderTest, EveryObjectReachable) {
+  Database db(testing::SmallDbOptions(3));
+  WorkloadParams params = testing::SmallWorkload(2);
+  BuiltGraph graph;
+  GraphBuilder builder(&db);
+  ASSERT_TRUE(builder.Build(params, &graph).ok());
+  auto reachable = testing::CollectReachable(&db.store());
+  EXPECT_EQ(reachable.size(),
+            1u + params.num_partitions +
+                static_cast<size_t>(params.num_partitions) *
+                    params.objects_per_partition);
+  EXPECT_EQ(testing::CountDanglingRefs(&db.store()), 0);
+}
+
+TEST(GraphBuilderTest, ErtMatchesGroundTruth) {
+  Database db(testing::SmallDbOptions(3));
+  WorkloadParams params = testing::SmallWorkload(2);
+  BuiltGraph graph;
+  GraphBuilder builder(&db);
+  ASSERT_TRUE(builder.Build(params, &graph).ok());
+  EXPECT_EQ(testing::CountErtDiscrepancies(&db.store(), &db.erts()), 0);
+  // Cluster roots are externally referenced (by the directory).
+  for (ObjectId root : graph.cluster_roots[0]) {
+    EXPECT_FALSE(db.erts().For(1).ParentsOf(root).empty());
+  }
+}
+
+TEST(GraphBuilderTest, GlueFactorControlsCrossPartitionEdges) {
+  auto count_cross = [](double glue) {
+    Database db(testing::SmallDbOptions(4));
+    WorkloadParams params = testing::SmallWorkload(3);
+    params.glue_factor = glue;
+    BuiltGraph graph;
+    GraphBuilder builder(&db);
+    EXPECT_TRUE(builder.Build(params, &graph).ok());
+    size_t cross = 0;
+    for (uint32_t p = 1; p <= params.num_partitions; ++p) {
+      cross += db.erts().For(p).Size();
+    }
+    // Subtract directory -> cluster-root entries (always cross: they come
+    // from partition 0).
+    cross -= static_cast<size_t>(params.num_partitions) *
+             params.clusters_per_partition();
+    return cross;
+  };
+  size_t low = count_cross(0.01);
+  size_t high = count_cross(0.5);
+  EXPECT_LT(low, high);
+}
+
+TEST(GraphBuilderTest, RejectsOverlargeWorkload) {
+  Database db(testing::SmallDbOptions(2));
+  WorkloadParams params = testing::SmallWorkload(5);  // more than db has
+  BuiltGraph graph;
+  GraphBuilder builder(&db);
+  EXPECT_FALSE(builder.Build(params, &graph).ok());
+}
+
+TEST(RandomWalkTest, CommitsAndTouchesObjects) {
+  Database db(testing::SmallDbOptions(3));
+  WorkloadParams params = testing::SmallWorkload(2);
+  BuiltGraph graph;
+  GraphBuilder builder(&db);
+  ASSERT_TRUE(builder.Build(params, &graph).ok());
+  Random rng(3);
+  int ok = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (RunWalkOnce(&db, params, graph, 1, &rng).ok()) ++ok;
+  }
+  EXPECT_EQ(ok, 50);  // single threaded: no timeouts possible
+  EXPECT_EQ(db.locks().NumLockedObjects(), 0u);
+}
+
+TEST(RandomWalkTest, MutationsChangeGlueEdges) {
+  Database db(testing::SmallDbOptions(3));
+  WorkloadParams params = testing::SmallWorkload(2);
+  params.ref_mutation_prob = 1.0;
+  params.update_prob = 1.0;
+  BuiltGraph graph;
+  GraphBuilder builder(&db);
+  ASSERT_TRUE(builder.Build(params, &graph).ok());
+  Lsn before = db.log().last_lsn();
+  Random rng(3);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(RunWalkOnce(&db, params, graph, 1, &rng).ok());
+  }
+  // Mutations produced SetRef records (deletes + inserts).
+  int setrefs = 0;
+  std::vector<LogRecord> recs;
+  db.log().ReadAfter(before, &recs);
+  for (const auto& r : recs) {
+    if (r.type == LogRecordType::kSetRef) ++setrefs;
+  }
+  EXPECT_GT(setrefs, 10);
+  // Graph still consistent.
+  db.analyzer().Sync();
+  EXPECT_EQ(testing::CountDanglingRefs(&db.store()), 0);
+  EXPECT_EQ(testing::CountErtDiscrepancies(&db.store(), &db.erts()), 0);
+}
+
+TEST(RandomWalkTest, VoluntaryAbortsRollBack) {
+  Database db(testing::SmallDbOptions(3));
+  WorkloadParams params = testing::SmallWorkload(2);
+  params.abort_prob = 1.0;
+  params.ref_mutation_prob = 0.5;
+  params.update_prob = 1.0;
+  BuiltGraph graph;
+  GraphBuilder builder(&db);
+  ASSERT_TRUE(builder.Build(params, &graph).ok());
+  Random rng(3);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(RunWalkOnce(&db, params, graph, 1, &rng).IsAborted());
+  }
+  db.analyzer().Sync();
+  EXPECT_EQ(testing::CountDanglingRefs(&db.store()), 0);
+  EXPECT_EQ(testing::CountErtDiscrepancies(&db.store(), &db.erts()), 0);
+  EXPECT_EQ(db.locks().NumLockedObjects(), 0u);
+}
+
+TEST(DriverTest, RunsMplThreadsAndStops) {
+  Database db(testing::SmallDbOptions(3));
+  WorkloadParams params = testing::SmallWorkload(2);
+  params.mpl = 4;
+  BuiltGraph graph;
+  GraphBuilder builder(&db);
+  ASSERT_TRUE(builder.Build(params, &graph).ok());
+  WorkloadDriver driver(&db, params, graph);
+  DriverResult r = driver.Run([]() { return false; },
+                              /*max_txns_per_thread=*/25);
+  EXPECT_EQ(r.committed, 4u * 25u);
+  EXPECT_EQ(r.response_ms.count(), 100);
+  EXPECT_GT(r.throughput_tps(), 0.0);
+  EXPECT_EQ(db.locks().NumLockedObjects(), 0u);
+}
+
+TEST(DriverTest, StopsOnCondition) {
+  Database db(testing::SmallDbOptions(3));
+  WorkloadParams params = testing::SmallWorkload(2);
+  params.mpl = 2;
+  BuiltGraph graph;
+  GraphBuilder builder(&db);
+  ASSERT_TRUE(builder.Build(params, &graph).ok());
+  WorkloadDriver driver(&db, params, graph);
+  std::atomic<int> calls{0};
+  DriverResult r = driver.Run([&]() { return ++calls > 20; }, 0);
+  EXPECT_GT(r.committed, 0u);
+  EXPECT_LT(r.elapsed_s, 30.0);
+}
+
+TEST(NonStrict2plWalkTest, ShortLocksRun) {
+  DatabaseOptions dopt = testing::SmallDbOptions(3);
+  dopt.strict_2pl = false;
+  dopt.enable_lock_history = true;
+  Database db(dopt);
+  WorkloadParams params = testing::SmallWorkload(2);
+  BuiltGraph graph;
+  GraphBuilder builder(&db);
+  ASSERT_TRUE(builder.Build(params, &graph).ok());
+  Random rng(5);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(RunWalkOnce(&db, params, graph, 1, &rng).ok());
+  }
+  EXPECT_EQ(db.locks().NumLockedObjects(), 0u);
+}
+
+}  // namespace
+}  // namespace brahma
