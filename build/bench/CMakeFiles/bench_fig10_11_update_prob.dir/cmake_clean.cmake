@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_11_update_prob.dir/bench_fig10_11_update_prob.cc.o"
+  "CMakeFiles/bench_fig10_11_update_prob.dir/bench_fig10_11_update_prob.cc.o.d"
+  "bench_fig10_11_update_prob"
+  "bench_fig10_11_update_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_11_update_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

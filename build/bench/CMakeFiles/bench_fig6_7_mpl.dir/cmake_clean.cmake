@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_7_mpl.dir/bench_fig6_7_mpl.cc.o"
+  "CMakeFiles/bench_fig6_7_mpl.dir/bench_fig6_7_mpl.cc.o.d"
+  "bench_fig6_7_mpl"
+  "bench_fig6_7_mpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_7_mpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

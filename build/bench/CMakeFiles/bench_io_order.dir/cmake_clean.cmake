@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_io_order.dir/bench_io_order.cc.o"
+  "CMakeFiles/bench_io_order.dir/bench_io_order.cc.o.d"
+  "bench_io_order"
+  "bench_io_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_io_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

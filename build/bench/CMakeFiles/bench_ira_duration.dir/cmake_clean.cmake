@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ira_duration.dir/bench_ira_duration.cc.o"
+  "CMakeFiles/bench_ira_duration.dir/bench_ira_duration.cc.o.d"
+  "bench_ira_duration"
+  "bench_ira_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ira_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

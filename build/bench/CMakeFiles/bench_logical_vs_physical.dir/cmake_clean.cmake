@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_logical_vs_physical.dir/bench_logical_vs_physical.cc.o"
+  "CMakeFiles/bench_logical_vs_physical.dir/bench_logical_vs_physical.cc.o.d"
+  "bench_logical_vs_physical"
+  "bench_logical_vs_physical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_logical_vs_physical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_other_sweeps.dir/bench_other_sweeps.cc.o"
+  "CMakeFiles/bench_other_sweeps.dir/bench_other_sweeps.cc.o.d"
+  "bench_other_sweeps"
+  "bench_other_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_other_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_response.dir/bench_table2_response.cc.o"
+  "CMakeFiles/bench_table2_response.dir/bench_table2_response.cc.o.d"
+  "bench_table2_response"
+  "bench_table2_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compaction.dir/compaction.cpp.o"
+  "CMakeFiles/compaction.dir/compaction.cpp.o.d"
+  "compaction"
+  "compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garbage_collection.dir/garbage_collection.cpp.o"
+  "CMakeFiles/garbage_collection.dir/garbage_collection.cpp.o.d"
+  "garbage_collection"
+  "garbage_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garbage_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

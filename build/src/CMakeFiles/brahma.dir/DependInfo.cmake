@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cc" "src/CMakeFiles/brahma.dir/core/advisor.cc.o" "gcc" "src/CMakeFiles/brahma.dir/core/advisor.cc.o.d"
+  "/root/repo/src/core/database.cc" "src/CMakeFiles/brahma.dir/core/database.cc.o" "gcc" "src/CMakeFiles/brahma.dir/core/database.cc.o.d"
+  "/root/repo/src/core/fuzzy_traversal.cc" "src/CMakeFiles/brahma.dir/core/fuzzy_traversal.cc.o" "gcc" "src/CMakeFiles/brahma.dir/core/fuzzy_traversal.cc.o.d"
+  "/root/repo/src/core/io_aware.cc" "src/CMakeFiles/brahma.dir/core/io_aware.cc.o" "gcc" "src/CMakeFiles/brahma.dir/core/io_aware.cc.o.d"
+  "/root/repo/src/core/ira.cc" "src/CMakeFiles/brahma.dir/core/ira.cc.o" "gcc" "src/CMakeFiles/brahma.dir/core/ira.cc.o.d"
+  "/root/repo/src/core/log_analyzer.cc" "src/CMakeFiles/brahma.dir/core/log_analyzer.cc.o" "gcc" "src/CMakeFiles/brahma.dir/core/log_analyzer.cc.o.d"
+  "/root/repo/src/core/offline_reorg.cc" "src/CMakeFiles/brahma.dir/core/offline_reorg.cc.o" "gcc" "src/CMakeFiles/brahma.dir/core/offline_reorg.cc.o.d"
+  "/root/repo/src/core/pqr.cc" "src/CMakeFiles/brahma.dir/core/pqr.cc.o" "gcc" "src/CMakeFiles/brahma.dir/core/pqr.cc.o.d"
+  "/root/repo/src/core/relocation.cc" "src/CMakeFiles/brahma.dir/core/relocation.cc.o" "gcc" "src/CMakeFiles/brahma.dir/core/relocation.cc.o.d"
+  "/root/repo/src/storage/object_store.cc" "src/CMakeFiles/brahma.dir/storage/object_store.cc.o" "gcc" "src/CMakeFiles/brahma.dir/storage/object_store.cc.o.d"
+  "/root/repo/src/storage/partition.cc" "src/CMakeFiles/brahma.dir/storage/partition.cc.o" "gcc" "src/CMakeFiles/brahma.dir/storage/partition.cc.o.d"
+  "/root/repo/src/txn/lock_manager.cc" "src/CMakeFiles/brahma.dir/txn/lock_manager.cc.o" "gcc" "src/CMakeFiles/brahma.dir/txn/lock_manager.cc.o.d"
+  "/root/repo/src/txn/transaction.cc" "src/CMakeFiles/brahma.dir/txn/transaction.cc.o" "gcc" "src/CMakeFiles/brahma.dir/txn/transaction.cc.o.d"
+  "/root/repo/src/txn/transaction_manager.cc" "src/CMakeFiles/brahma.dir/txn/transaction_manager.cc.o" "gcc" "src/CMakeFiles/brahma.dir/txn/transaction_manager.cc.o.d"
+  "/root/repo/src/wal/log_manager.cc" "src/CMakeFiles/brahma.dir/wal/log_manager.cc.o" "gcc" "src/CMakeFiles/brahma.dir/wal/log_manager.cc.o.d"
+  "/root/repo/src/wal/recovery.cc" "src/CMakeFiles/brahma.dir/wal/recovery.cc.o" "gcc" "src/CMakeFiles/brahma.dir/wal/recovery.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "src/CMakeFiles/brahma.dir/workload/driver.cc.o" "gcc" "src/CMakeFiles/brahma.dir/workload/driver.cc.o.d"
+  "/root/repo/src/workload/graph_builder.cc" "src/CMakeFiles/brahma.dir/workload/graph_builder.cc.o" "gcc" "src/CMakeFiles/brahma.dir/workload/graph_builder.cc.o.d"
+  "/root/repo/src/workload/metrics.cc" "src/CMakeFiles/brahma.dir/workload/metrics.cc.o" "gcc" "src/CMakeFiles/brahma.dir/workload/metrics.cc.o.d"
+  "/root/repo/src/workload/random_walk.cc" "src/CMakeFiles/brahma.dir/workload/random_walk.cc.o" "gcc" "src/CMakeFiles/brahma.dir/workload/random_walk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

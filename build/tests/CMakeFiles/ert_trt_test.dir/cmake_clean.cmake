@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ert_trt_test.dir/ert_trt_test.cc.o"
+  "CMakeFiles/ert_trt_test.dir/ert_trt_test.cc.o.d"
+  "ert_trt_test"
+  "ert_trt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ert_trt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzy_traversal_test.dir/fuzzy_traversal_test.cc.o"
+  "CMakeFiles/fuzzy_traversal_test.dir/fuzzy_traversal_test.cc.o.d"
+  "fuzzy_traversal_test"
+  "fuzzy_traversal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzy_traversal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

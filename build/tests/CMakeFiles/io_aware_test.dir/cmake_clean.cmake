@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_aware_test.dir/io_aware_test.cc.o"
+  "CMakeFiles/io_aware_test.dir/io_aware_test.cc.o.d"
+  "io_aware_test"
+  "io_aware_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_aware_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ira_concurrent_test.dir/ira_concurrent_test.cc.o"
+  "CMakeFiles/ira_concurrent_test.dir/ira_concurrent_test.cc.o.d"
+  "ira_concurrent_test"
+  "ira_concurrent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ira_concurrent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ira_test.dir/ira_test.cc.o"
+  "CMakeFiles/ira_test.dir/ira_test.cc.o.d"
+  "ira_test"
+  "ira_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ira_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

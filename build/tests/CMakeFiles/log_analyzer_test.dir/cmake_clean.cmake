@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_analyzer_test.dir/log_analyzer_test.cc.o"
+  "CMakeFiles/log_analyzer_test.dir/log_analyzer_test.cc.o.d"
+  "log_analyzer_test"
+  "log_analyzer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

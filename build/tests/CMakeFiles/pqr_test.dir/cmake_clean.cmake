@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pqr_test.dir/pqr_test.cc.o"
+  "CMakeFiles/pqr_test.dir/pqr_test.cc.o.d"
+  "pqr_test"
+  "pqr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pqr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reorg_checkpoint_test.dir/reorg_checkpoint_test.cc.o"
+  "CMakeFiles/reorg_checkpoint_test.dir/reorg_checkpoint_test.cc.o.d"
+  "reorg_checkpoint_test"
+  "reorg_checkpoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reorg_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
