@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/failpoint.h"
 #include "core/database.h"
 #include "core/fuzzy_traversal.h"
 #include "index/extendible_hash.h"
@@ -87,6 +88,49 @@ void BM_WalAppend(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_WalAppend);
+
+// Baseline for the failpoint-overhead pair: the same loop body with no
+// failpoint site at all.
+void BM_WalAppendNoFailpoint(benchmark::State& state) {
+  LogManager log;
+  LogRecord rec;
+  rec.type = LogRecordType::kSetRef;
+  rec.txn = 1;
+  rec.oid = ObjectId(1, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.Append(rec));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WalAppendNoFailpoint);
+
+// A failpoint site on the hot path with nothing armed: the whole check is
+// one relaxed atomic load, so the delta versus the baseline above must be
+// within run-to-run noise.
+void BM_WalAppendInactiveFailpoint(benchmark::State& state) {
+  FailPoints::Instance().Reset();
+  LogManager log;
+  LogRecord rec;
+  rec.type = LogRecordType::kSetRef;
+  rec.txn = 1;
+  rec.oid = ObjectId(1, 64);
+  for (auto _ : state) {
+    BRAHMA_FAILPOINT_HIT("bench:wal-append");
+    benchmark::DoNotOptimize(log.Append(rec));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WalAppendInactiveFailpoint);
+
+// The raw cost of an inactive failpoint check in isolation.
+void BM_InactiveFailpointCheck(benchmark::State& state) {
+  FailPoints::Instance().Reset();
+  for (auto _ : state) {
+    BRAHMA_FAILPOINT_HIT("bench:isolated");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InactiveFailpointCheck);
 
 void BM_FuzzyTraversalPartition(benchmark::State& state) {
   DatabaseOptions dopt;

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "common/params.h"
 #include "core/database.h"
 #include "core/ira.h"
 #include "core/pqr.h"
@@ -56,8 +57,9 @@ struct ExperimentConfig {
   // same transaction takes ~2 ms, 1 s would make every deadlock cost
   // hundreds of transaction-times and distort all the ratios; we keep
   // the paper's *proportions* (timeout ≈ 25x a median transaction).
-  // BRAHMA_BENCH_FULL=1 restores the literal 1 s.
-  std::chrono::milliseconds lock_timeout{50};
+  // BRAHMA_BENCH_FULL=1 restores the literal 1 s. Both values live in
+  // common/params.h so library defaults and benchmarks stay in sync.
+  std::chrono::milliseconds lock_timeout = kCalibratedLockTimeout;
 };
 
 struct ExperimentResult {
@@ -82,7 +84,7 @@ inline ExperimentResult RunExperimentExact(const ExperimentConfig& cfg);
 
 inline ExperimentResult RunExperiment(const ExperimentConfig& cfg) {
   ExperimentConfig adjusted = cfg;
-  if (FullMode()) adjusted.lock_timeout = std::chrono::milliseconds(1000);
+  if (FullMode()) adjusted.lock_timeout = kPaperLockTimeout;
   const ExperimentConfig& c = adjusted;
   return RunExperimentExact(c);
 }

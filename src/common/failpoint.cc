@@ -1,0 +1,305 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace brahma {
+
+namespace failpoint {
+std::atomic<bool> g_active{false};
+}  // namespace failpoint
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += uint64_t{0x9E3779B97F4A7C15});
+  z = (z ^ (z >> 30)) * uint64_t{0xBF58476D1CE4E5B9};
+  z = (z ^ (z >> 27)) * uint64_t{0x94D049BB133111EB};
+  return z ^ (z >> 31);
+}
+
+uint64_t HashName(const std::string& name) {
+  uint64_t h = uint64_t{0xcbf29ce484222325};  // FNV-1a
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= uint64_t{0x100000001b3};
+  }
+  return h;
+}
+
+// Maps an action/error keyword to a spec. Returns false if unknown.
+bool ParseHead(const std::string& head, const std::string& arg,
+               FailSpec* spec) {
+  if (head == "off") {
+    spec->action = FailSpec::Action::kOff;
+    return true;
+  }
+  if (head == "crash") {
+    spec->action = FailSpec::Action::kCrash;
+    return true;
+  }
+  if (head == "delay" || head == "sleep") {
+    spec->action = FailSpec::Action::kDelay;
+    spec->delay_ms = static_cast<uint32_t>(std::strtoul(arg.c_str(),
+                                                        nullptr, 10));
+    return true;
+  }
+  spec->action = FailSpec::Action::kError;
+  if (head == "timeout") {
+    spec->error_code = Status::Code::kTimedOut;
+  } else if (head == "notfound") {
+    spec->error_code = Status::Code::kNotFound;
+  } else if (head == "busy") {
+    spec->error_code = Status::Code::kBusy;
+  } else if (head == "nospace") {
+    spec->error_code = Status::Code::kNoSpace;
+  } else if (head == "corruption") {
+    spec->error_code = Status::Code::kCorruption;
+  } else if (head == "aborted") {
+    spec->error_code = Status::Code::kAborted;
+  } else if (head == "error" || head == "internal") {
+    spec->error_code = Status::Code::kInternal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FailPoints& FailPoints::Instance() {
+  static FailPoints* instance = new FailPoints();
+  return *instance;
+}
+
+FailPoints::FailPoints() {
+  const char* seed_env = std::getenv("BRAHMA_FAILPOINTS_SEED");
+  if (seed_env != nullptr) {
+    seed_ = std::strtoull(seed_env, nullptr, 10);
+  }
+  const char* env = std::getenv("BRAHMA_FAILPOINTS");
+  if (env != nullptr && env[0] != '\0') {
+    // A typo'd schedule silently injecting nothing is the worst failure
+    // mode for a fault-injection tool — complain loudly.
+    Status s = ArmFromString(env);
+    if (!s.ok()) {
+      std::fprintf(stderr, "brahma: bad BRAHMA_FAILPOINTS (%s)\n",
+                   s.ToString().c_str());
+    }
+  }
+}
+
+Status FailPoints::MakeStatus(Status::Code code, const std::string& site) {
+  const std::string msg = "failpoint " + site;
+  switch (code) {
+    case Status::Code::kTimedOut: return Status::TimedOut(msg);
+    case Status::Code::kNotFound: return Status::NotFound(msg);
+    case Status::Code::kBusy: return Status::Busy(msg);
+    case Status::Code::kNoSpace: return Status::NoSpace(msg);
+    case Status::Code::kCorruption: return Status::Corruption(msg);
+    case Status::Code::kAborted: return Status::Aborted(msg);
+    default: return Status::Internal(msg);
+  }
+}
+
+Status FailPoints::Evaluate(const char* site, bool status_site) {
+  uint32_t delay_ms = 0;
+  Status result = Status::Ok();
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) {
+      if (!tracing_) return Status::Ok();  // nothing armed for this site
+      it = sites_.emplace(site, SiteState{}).first;
+      it->second.prng_state = seed_ ^ HashName(site);
+    }
+    SiteState& s = it->second;
+    s.status_capable |= status_site;
+    ++s.hits;
+    if (!s.armed) return Status::Ok();
+    const FailSpec& spec = s.spec;
+    if (spec.action == FailSpec::Action::kOff) return Status::Ok();
+    if (s.hits < spec.start_hit) return Status::Ok();
+    if (spec.max_triggers != 0 && s.triggered >= spec.max_triggers) {
+      return Status::Ok();
+    }
+    if (spec.probability < 1.0) {
+      double draw = static_cast<double>(SplitMix64(&s.prng_state) >> 11) *
+                    (1.0 / 9007199254740992.0);
+      if (draw >= spec.probability) return Status::Ok();
+    }
+    switch (spec.action) {
+      case FailSpec::Action::kDelay:
+        ++s.triggered;
+        delay_ms = spec.delay_ms;
+        break;
+      case FailSpec::Action::kCrash:
+        if (!status_site) return Status::Ok();  // cannot propagate here
+        ++s.triggered;
+        total_triggered_.fetch_add(1, std::memory_order_relaxed);
+        result = Status::Crashed("failpoint " + std::string(site));
+        break;
+      case FailSpec::Action::kError:
+        if (!status_site) return Status::Ok();
+        ++s.triggered;
+        total_triggered_.fetch_add(1, std::memory_order_relaxed);
+        result = MakeStatus(spec.error_code, site);
+        break;
+      case FailSpec::Action::kOff:
+        break;
+    }
+  }
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return result;
+}
+
+void FailPoints::Arm(const std::string& site, const FailSpec& spec) {
+  std::lock_guard<std::mutex> g(mu_);
+  SiteState& s = sites_[site];
+  if (s.prng_state == 0) s.prng_state = seed_ ^ HashName(site);
+  s.spec = spec;
+  s.armed = spec.action != FailSpec::Action::kOff;
+  RecomputeActiveLocked();
+}
+
+Status FailPoints::ArmFromString(const std::string& config) {
+  size_t pos = 0;
+  while (pos < config.size()) {
+    size_t end = config.find_first_of(";,", pos);
+    if (end == std::string::npos) end = config.size();
+    std::string clause = config.substr(pos, end - pos);
+    pos = end + 1;
+    // Trim whitespace.
+    size_t b = clause.find_first_not_of(" \t");
+    size_t e = clause.find_last_not_of(" \t");
+    if (b == std::string::npos) continue;
+    clause = clause.substr(b, e - b + 1);
+
+    size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint clause missing '=': " +
+                                     clause);
+    }
+    const std::string site = clause.substr(0, eq);
+    std::string rest = clause.substr(eq + 1);
+
+    // Split into '.'-separated terms; each is word or word(arg). The
+    // first term is the action, the others are modifiers.
+    FailSpec spec;
+    bool first = true;
+    size_t tpos = 0;
+    while (tpos < rest.size()) {
+      size_t tend = tpos;
+      int depth = 0;
+      while (tend < rest.size() && (rest[tend] != '.' || depth > 0)) {
+        if (rest[tend] == '(') ++depth;
+        if (rest[tend] == ')') --depth;
+        ++tend;
+      }
+      std::string term = rest.substr(tpos, tend - tpos);
+      tpos = tend + 1;
+      std::string word = term, arg;
+      size_t paren = term.find('(');
+      if (paren != std::string::npos) {
+        if (term.back() != ')') {
+          return Status::InvalidArgument("failpoint term missing ')': " +
+                                         term);
+        }
+        word = term.substr(0, paren);
+        arg = term.substr(paren + 1, term.size() - paren - 2);
+      }
+      if (first) {
+        if (!ParseHead(word, arg, &spec)) {
+          return Status::InvalidArgument("unknown failpoint action: " + word);
+        }
+        first = false;
+      } else if (word == "nth") {
+        spec.start_hit = std::strtoull(arg.c_str(), nullptr, 10);
+        if (spec.start_hit == 0) spec.start_hit = 1;
+      } else if (word == "times") {
+        spec.max_triggers = std::strtoull(arg.c_str(), nullptr, 10);
+      } else if (word == "prob") {
+        spec.probability = std::strtod(arg.c_str(), nullptr);
+      } else {
+        return Status::InvalidArgument("unknown failpoint modifier: " + word);
+      }
+    }
+    if (first) {
+      return Status::InvalidArgument("empty failpoint action for " + site);
+    }
+    Arm(site, spec);
+  }
+  return Status::Ok();
+}
+
+void FailPoints::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = sites_.find(site);
+  if (it != sites_.end()) {
+    it->second.armed = false;
+    it->second.spec = FailSpec{};
+  }
+  RecomputeActiveLocked();
+}
+
+void FailPoints::Reset() {
+  std::lock_guard<std::mutex> g(mu_);
+  sites_.clear();
+  tracing_ = false;
+  total_triggered_.store(0, std::memory_order_relaxed);
+  RecomputeActiveLocked();
+}
+
+void FailPoints::set_tracing(bool on) {
+  std::lock_guard<std::mutex> g(mu_);
+  tracing_ = on;
+  RecomputeActiveLocked();
+}
+
+void FailPoints::set_seed(uint64_t seed) {
+  std::lock_guard<std::mutex> g(mu_);
+  seed_ = seed;
+}
+
+void FailPoints::RecomputeActiveLocked() {
+  bool active = tracing_;
+  for (const auto& [name, s] : sites_) {
+    (void)name;
+    active |= s.armed;
+  }
+  failpoint::g_active.store(active, std::memory_order_relaxed);
+}
+
+uint64_t FailPoints::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FailPoints::triggered(const std::string& site) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.triggered;
+}
+
+uint64_t FailPoints::total_triggered() const {
+  return total_triggered_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> FailPoints::SitesHit(
+    bool status_capable_only) const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, s] : sites_) {
+    if (s.hits == 0) continue;
+    if (status_capable_only && !s.status_capable) continue;
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace brahma

@@ -1,0 +1,146 @@
+#ifndef BRAHMA_COMMON_FAILPOINT_H_
+#define BRAHMA_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace brahma {
+
+// Deterministic fault injection.
+//
+// Code threads named *sites* through the places where a failure is most
+// dangerous (WAL append/flush, lock acquisition, every step of a
+// migration). A site is a single relaxed atomic load when nothing is
+// armed — cheap enough to keep compiled into release builds and placed
+// on hot paths. Arming a site attaches an action:
+//
+//   crash       the site returns Status::Crashed; callers propagate it
+//               without undo or abort, modelling a process kill at that
+//               instruction (the test then runs SimulateCrash/Recover)
+//   error(...)  the site returns the named Status code (timeout,
+//               notfound, busy, nospace, corruption, aborted, internal)
+//   delay(ms)   the site sleeps, modelling a slow device or scheduler
+//               stall, then proceeds normally
+//
+// Triggers are deterministic: `.nth(N)` arms the action from the Nth
+// hit of the site (1-based), `.times(M)` fires it at most M times, and
+// `.prob(P)` gates each eligible hit on a PRNG seeded from the global
+// seed and the site name, so a given (seed, schedule) pair always
+// injects the same faults.
+//
+// Activation is programmatic (FailPoints::Instance().Arm / ArmFromString)
+// or via the environment:
+//
+//   BRAHMA_FAILPOINTS="ira:basic:before-commit=crash.nth(3);wal:append=delay(5)"
+//   BRAHMA_FAILPOINTS_SEED=42
+struct FailSpec {
+  enum class Action { kOff, kError, kCrash, kDelay };
+  Action action = Action::kOff;
+  Status::Code error_code = Status::Code::kInternal;  // for kError
+  uint32_t delay_ms = 0;                              // for kDelay
+  uint64_t start_hit = 1;       // first hit (1-based) that may trigger
+  uint64_t max_triggers = 0;    // 0 = unlimited
+  double probability = 1.0;     // per-eligible-hit gate, seeded PRNG
+};
+
+class FailPoints {
+ public:
+  // Process-wide registry. Construction parses BRAHMA_FAILPOINTS.
+  static FailPoints& Instance();
+
+  FailPoints(const FailPoints&) = delete;
+  FailPoints& operator=(const FailPoints&) = delete;
+
+  // Evaluates a site hit. `status_site` distinguishes hooks whose result
+  // can propagate (BRAHMA_FAILPOINT) from fire-and-forget hooks
+  // (BRAHMA_FAILPOINT_HIT), which honour only delays. Called through
+  // failpoint::Check / failpoint::Hit, never directly.
+  Status Evaluate(const char* site, bool status_site);
+
+  void Arm(const std::string& site, const FailSpec& spec);
+  // Parses "site=action[(arg)][.nth(N)][.times(M)][.prob(P)]" clauses
+  // separated by ';' or ','. Returns InvalidArgument on a malformed
+  // clause (earlier clauses stay armed).
+  Status ArmFromString(const std::string& config);
+  void Disarm(const std::string& site);
+
+  // Disarms everything, clears hit counters and tracing, reseeds.
+  void Reset();
+
+  // Records hits (and which sites can fail) without any armed action, so
+  // a discovery run can enumerate the sites on a code path.
+  void set_tracing(bool on);
+
+  // Seed for `.prob` gates. Fixed default keeps schedules reproducible.
+  void set_seed(uint64_t seed);
+
+  uint64_t hits(const std::string& site) const;
+  uint64_t triggered(const std::string& site) const;
+  // Total injected faults (error + crash) since the last Reset.
+  uint64_t total_triggered() const;
+  // Sites seen since the last Reset; status_capable_only restricts to
+  // sites whose injected Status propagates to the caller.
+  std::vector<std::string> SitesHit(bool status_capable_only = false) const;
+
+ private:
+  FailPoints();
+
+  struct SiteState {
+    FailSpec spec;
+    bool armed = false;
+    bool status_capable = false;
+    uint64_t hits = 0;
+    uint64_t triggered = 0;
+    uint64_t prng_state = 0;  // SplitMix64, seeded from seed_ ^ hash(name)
+  };
+
+  void RecomputeActiveLocked();
+  static Status MakeStatus(Status::Code code, const std::string& site);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, SiteState> sites_;
+  bool tracing_ = false;
+  uint64_t seed_ = 0;
+  std::atomic<uint64_t> total_triggered_{0};
+};
+
+namespace failpoint {
+
+// True when any site is armed (or tracing is on). The fast path of every
+// hook is this single relaxed load.
+extern std::atomic<bool> g_active;
+
+inline Status Check(const char* site) {
+  if (!g_active.load(std::memory_order_relaxed)) return Status::Ok();
+  return FailPoints::Instance().Evaluate(site, /*status_site=*/true);
+}
+
+inline void Hit(const char* site) {
+  if (!g_active.load(std::memory_order_relaxed)) return;
+  FailPoints::Instance().Evaluate(site, /*status_site=*/false);
+}
+
+}  // namespace failpoint
+
+// Hook for functions returning Status: an armed error/crash action at
+// this site returns its Status from the enclosing function. Callers that
+// must skip cleanup on a crash (no undo — a crashed process runs
+// nothing) test IsCrashed() on the propagated Status.
+#define BRAHMA_FAILPOINT(site_name)                                       \
+  do {                                                                    \
+    ::brahma::Status _fp_status = ::brahma::failpoint::Check(site_name);  \
+    if (!_fp_status.ok()) return _fp_status;                              \
+  } while (0)
+
+// Hook for void contexts: only delays (and hit counting) apply.
+#define BRAHMA_FAILPOINT_HIT(site_name) ::brahma::failpoint::Hit(site_name)
+
+}  // namespace brahma
+
+#endif  // BRAHMA_COMMON_FAILPOINT_H_

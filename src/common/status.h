@@ -21,6 +21,11 @@ class Status {
     kBusy,          // resource (e.g., upgrade conflict) busy
     kNoSpace,       // partition arena exhausted
     kInternal,
+    kRetryExhausted,  // a bounded retry loop gave up (Find_Exact_Parents)
+    kDegraded,      // reorganization stopped early under its contention
+                    // budget; partial progress + checkpoint are usable
+    kCrashed,       // fault injection: simulated crash at a failpoint;
+                    // propagate without undo, then SimulateCrash/Recover
   };
 
   Status() : code_(Code::kOk) {}
@@ -50,6 +55,15 @@ class Status {
   static Status Internal(std::string msg = "") {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status RetryExhausted(std::string msg = "") {
+    return Status(Code::kRetryExhausted, std::move(msg));
+  }
+  static Status Degraded(std::string msg = "") {
+    return Status(Code::kDegraded, std::move(msg));
+  }
+  static Status Crashed(std::string msg = "") {
+    return Status(Code::kCrashed, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -57,6 +71,9 @@ class Status {
   bool IsAborted() const { return code_ == Code::kAborted; }
   bool IsNoSpace() const { return code_ == Code::kNoSpace; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsRetryExhausted() const { return code_ == Code::kRetryExhausted; }
+  bool IsDegraded() const { return code_ == Code::kDegraded; }
+  bool IsCrashed() const { return code_ == Code::kCrashed; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
@@ -74,6 +91,9 @@ class Status {
       case Code::kBusy: name = "Busy"; break;
       case Code::kNoSpace: name = "NoSpace"; break;
       case Code::kInternal: name = "Internal"; break;
+      case Code::kRetryExhausted: name = "RetryExhausted"; break;
+      case Code::kDegraded: name = "Degraded"; break;
+      case Code::kCrashed: name = "Crashed"; break;
     }
     return msg_.empty() ? std::string(name) : std::string(name) + ": " + msg_;
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace brahma {
 
 Database::Database(const DatabaseOptions& options) : options_(options) {
@@ -53,6 +55,8 @@ void Database::MaybeTruncateLog() {
 }
 
 void Database::Checkpoint() {
+  // Delay-only site: a slow checkpoint stretches the quiesce window.
+  BRAHMA_FAILPOINT_HIT("db:checkpoint");
   CheckpointImage img;
   {
     // Exclusive against every (append, apply) pair: the image is exactly

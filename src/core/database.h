@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "common/latch.h"
+#include "common/params.h"
 #include "core/ert.h"
 #include "core/ira.h"
 #include "core/log_analyzer.h"
@@ -30,8 +31,9 @@ struct DatabaseOptions {
   // systems pay at commit; 0 disables the wait).
   std::chrono::microseconds commit_flush_latency{0};
 
-  // Lock-wait timeout for deadlock resolution (1 s in the paper).
-  std::chrono::milliseconds lock_timeout{1000};
+  // Lock-wait timeout for deadlock resolution (1 s in the paper; see
+  // common/params.h for the shared defaults).
+  std::chrono::milliseconds lock_timeout = kPaperLockTimeout;
 
   // If false, transactions may release object locks early (Section 4.1);
   // the reorganizer must then run with wait_for_historical_lockers and

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
+#include <thread>
 
 #include "common/clock.h"
+#include "common/failpoint.h"
 #include "core/fuzzy_traversal.h"
 
 namespace brahma {
@@ -31,6 +34,7 @@ Status IraReorganizer::Run(PartitionId p, RelocationPlanner* planner,
         "wait_for_historical_lockers requires lock history");
   }
   Stopwatch sw;
+  const uint64_t faults_before = FailPoints::Instance().total_triggered();
 
   // Start collecting pointer inserts/deletes for the partition. Sync
   // first so pre-reorganization history (already reflected in the graph
@@ -63,6 +67,8 @@ Status IraReorganizer::Run(PartitionId p, RelocationPlanner* planner,
                                       std::move(objects), &migrated, &plists,
                                       stats);
   stats->duration_ms = sw.ElapsedMillis();
+  stats->faults_injected +=
+      FailPoints::Instance().total_triggered() - faults_before;
   return result;
 }
 
@@ -77,6 +83,7 @@ Status IraReorganizer::Resume(const ReorgCheckpoint& checkpoint,
         "wait_for_historical_lockers requires lock history");
   }
   Stopwatch sw;
+  const uint64_t faults_before = FailPoints::Instance().total_triggered();
   const PartitionId p = checkpoint.partition;
   const bool strict = ctx_.txns->ctx().strict_2pl;
 
@@ -131,6 +138,8 @@ Status IraReorganizer::Resume(const ReorgCheckpoint& checkpoint,
                                       std::move(objects), &migrated,
                                       &tr.parents, stats);
   stats->duration_ms = sw.ElapsedMillis();
+  stats->faults_injected +=
+      FailPoints::Instance().total_triggered() - faults_before;
   return result;
 }
 
@@ -155,33 +164,78 @@ Status IraReorganizer::MigrateAllAndFinish(
     }
     MaybeCheckpoint(p, options, traversed, *plists, *stats);
   }
+  if (result.IsCrashed()) {
+    // Simulated crash: a dead process commits nothing, releases nothing,
+    // and never reaches the GC sweep. Abandon the open group so quiesce
+    // barriers do not wait on a ghost; restart recovery owns the cleanup.
+    if (group_txn_ != nullptr) {
+      group_txn_->Abandon();
+      group_txn_.reset();
+    }
+    return result;
+  }
   if (group_txn_ != nullptr) {
-    group_txn_->Commit();
+    // Degraded / retry-exhausted / error exits commit the open group: it
+    // only ever holds whole completed migrations, so committing keeps the
+    // finished work durable and releases the reorganizer's locks.
+    Status cs = group_txn_->Commit();
+    if (cs.IsCrashed()) {
+      group_txn_->Abandon();
+      group_txn_.reset();
+      return cs;
+    }
     group_txn_.reset();
+    if (result.ok() && !cs.ok()) result = cs;
+  }
+
+  if (result.IsDegraded()) {
+    // Graceful degradation: persist exactly how far we got (bypassing the
+    // checkpoint cadence) so a later Resume finishes the job when
+    // contention subsides.
+    MaybeCheckpoint(p, options, traversed, *plists, *stats, /*force=*/true);
+    ctx_.trt->Disable();
+    return result;
   }
 
   // Section 4.6: everything allocated in the partition that the traversal
   // did not reach is garbage — reclaim it.
   if (result.ok() && options.collect_garbage) {
     result = SweepGarbage(p, traversed, *stats, stats);
+    if (result.IsCrashed()) return result;
   }
 
   ctx_.trt->Disable();
   return result;
 }
 
+void IraReorganizer::BackoffSleep(uint32_t attempt, const IraOptions& options,
+                                  ReorgStats* stats) {
+  if (options.backoff_initial.count() <= 0) return;
+  // Deterministic (no jitter) so fault schedules replay identically.
+  uint64_t ms = static_cast<uint64_t>(options.backoff_initial.count());
+  const uint64_t cap = static_cast<uint64_t>(
+      std::max<int64_t>(options.backoff_max.count(), 1));
+  for (uint32_t i = 0; i < attempt && ms < cap; ++i) ms <<= 1;
+  ms = std::min(ms, cap);
+  ++stats->backoff_sleeps;
+  stats->backoff_total_ms += ms;
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
 void IraReorganizer::MaybeCheckpoint(
     PartitionId p, const IraOptions& options,
     const std::unordered_set<ObjectId>& traversed, const ParentLists& plists,
-    const ReorgStats& stats) {
-  if (options.checkpoint_sink == nullptr || options.checkpoint_every == 0) {
-    return;
+    const ReorgStats& stats, bool force) {
+  if (options.checkpoint_sink == nullptr) return;
+  if (!force) {
+    if (options.checkpoint_every == 0) return;
+    if (stats.objects_migrated % options.checkpoint_every != 0) return;
+    // Checkpointed state must only cover *committed* migrations: with
+    // grouping, the open group transaction's moves would be lost by a
+    // crash, so checkpoint only at group boundaries. (A forced checkpoint
+    // is only taken after the group has been committed.)
+    if (group_txn_ != nullptr && in_group_ != 0) return;
   }
-  if (stats.objects_migrated % options.checkpoint_every != 0) return;
-  // Checkpointed state must only cover *committed* migrations: with
-  // grouping, the open group transaction's moves would be lost by a
-  // crash, so checkpoint only at group boundaries.
-  if (group_txn_ != nullptr && in_group_ != 0) return;
   ReorgCheckpoint* ckpt = options.checkpoint_sink;
   ckpt->partition = p;
   ckpt->lsn = ctx_.log->last_lsn();
@@ -216,7 +270,9 @@ Status IraReorganizer::FindExactParents(ObjectId oid, Transaction* txn,
     Status s = txn->LockWithTimeout(r, LockMode::kExclusive,
                                     options.lock_timeout);
     if (!s.ok()) {
-      ++stats->lock_timeouts;
+      // Only genuine lock-wait timeouts count against the contention
+      // budget; injected crashes/errors propagate untallied.
+      if (s.IsTimedOut()) ++stats->lock_timeouts;
       return s;
     }
     newly_locked->push_back(r);
@@ -293,15 +349,31 @@ Status IraReorganizer::MigrateBasic(ObjectId oid, PartitionId p,
       // (the paper: it must be reinvoked if it fails due to a deadlock).
       for (ObjectId l : newly_locked) txn->Unlock(l);
       ++stats->find_exact_retries;
+      if (BudgetExhausted(options, *stats)) {
+        // Clean point: no locks held for this object; the group only
+        // holds whole completed migrations.
+        return Status::Degraded("contention budget exhausted at " +
+                                oid.ToString());
+      }
+      if (attempt + 1 < options.max_retries_per_object) {
+        BackoffSleep(attempt, options, stats);
+      }
       continue;
     }
     if (!s.ok()) return s;
+    // Crash here: exact parents locked, nothing moved yet. Recovery sees
+    // only completed (uncommitted) group work, which it undoes.
+    BRAHMA_FAILPOINT("ira:basic:after-parent-locks");
 
     ObjectId onew;
     s = MoveObjectAndUpdateRefs(ctx_, txn, oid, planner, plists->Get(oid), p,
                                 migrated, plists, stats, &onew);
     if (!s.ok()) {
-      group_txn_->Abort();
+      if (s.IsCrashed()) {
+        group_txn_->Abandon();
+      } else {
+        group_txn_->Abort();
+      }
       group_txn_.reset();
       return s;
     }
@@ -310,12 +382,19 @@ Status IraReorganizer::MigrateBasic(ObjectId oid, PartitionId p,
     stats->max_distinct_objects_locked = std::max<uint64_t>(
         stats->max_distinct_objects_locked, txn->num_locks_held());
     if (++in_group_ >= options.group_size) {
-      group_txn_->Commit();
+      // Crash here: the whole group's migrations are in the (unflushed)
+      // log without a commit record — recovery rolls them all back.
+      BRAHMA_FAILPOINT("ira:basic:before-commit");
+      Status cs = group_txn_->Commit();
+      if (cs.IsCrashed()) group_txn_->Abandon();
       group_txn_.reset();
+      if (!cs.ok()) return cs;
     }
     return Status::Ok();
   }
-  return Status::TimedOut("gave up migrating " + oid.ToString());
+  return Status::RetryExhausted(
+      "gave up migrating " + oid.ToString() + " after " +
+      std::to_string(options.max_retries_per_object) + " retries");
 }
 
 Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
@@ -328,14 +407,30 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
   std::unique_ptr<Transaction> anchor;
   for (uint32_t attempt = 0;; ++attempt) {
     if (attempt >= options.max_retries_per_object) {
-      return Status::TimedOut("gave up locking " + oid.ToString());
+      return Status::RetryExhausted("gave up locking " + oid.ToString());
     }
     anchor = ctx_.txns->Begin(LogSource::kReorg);
     Status s = anchor->LockWithTimeout(oid, LockMode::kExclusive,
                                        options.lock_timeout);
     if (s.ok()) break;
+    if (s.IsCrashed()) {
+      anchor->Abandon();
+      return s;
+    }
     ++stats->lock_timeouts;
     anchor->Abort();
+    if (BudgetExhausted(options, *stats)) {
+      // The only degradation point in two-lock mode: nothing has happened
+      // for this object yet, so stopping here leaves no dual-copy state.
+      // (Mid-object contention keeps retrying to max_retries_per_object:
+      // giving up after O_new commits would leave both copies reachable
+      // with no crash-recovery pass scheduled to fold them.)
+      return Status::Degraded("contention budget exhausted at " +
+                              oid.ToString());
+    }
+    if (attempt + 1 < options.max_retries_per_object) {
+      BackoffSleep(attempt, options, stats);
+    }
   }
   if (options.wait_for_historical_lockers) {
     // Section 4.1: whenever the IRA locks an object it waits for every
@@ -345,6 +440,30 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
     // before O_old's contents are copied.
     WaitForHistoricalLockers(oid, anchor.get());
   }
+  // Exits with matching crash semantics: an injected crash abandons open
+  // transactions (no undo, no lock release); real errors abort them.
+  std::unique_ptr<Transaction> ptxn;
+  auto bail = [&](Status s) -> Status {
+    if (ptxn != nullptr) {
+      if (s.IsCrashed()) {
+        ptxn->Abandon();
+      } else {
+        ptxn->Abort();
+      }
+      ptxn.reset();
+    }
+    if (s.IsCrashed()) {
+      anchor->Abandon();
+    } else {
+      anchor->Abort();
+    }
+    return s;
+  };
+  {
+    // Crash here: anchor holds O_old's lock, nothing copied yet.
+    Status fp = failpoint::Check("ira:twolock:after-anchor-lock");
+    if (!fp.ok()) return bail(fp);
+  }
 
   // Copy the contents and durably create O_new in its own transaction, so
   // a crash between parent updates never leaves committed references to a
@@ -353,10 +472,7 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
   std::vector<uint8_t> data;
   {
     ObjectHeader* h = ctx_.store->Get(oid);
-    if (h == nullptr) {
-      anchor->Abort();
-      return Status::NotFound("two-lock source vanished");
-    }
+    if (h == nullptr) return bail(Status::NotFound("two-lock source vanished"));
     SharedLatchGuard g(&h->latch);
     refs.assign(h->refs(), h->refs() + h->num_refs);
     data.assign(h->data(), h->data() + h->data_size);
@@ -370,25 +486,40 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
     Status s = ctxn->CreateObjectWithContents(planner->Target(oid), new_refs,
                                               new_data, &onew, oid);
     if (!s.ok()) {
-      ctxn->Abort();
-      anchor->Abort();
-      return s;
+      if (s.IsCrashed()) {
+        ctxn->Abandon();
+      } else {
+        ctxn->Abort();
+      }
+      return bail(s);
     }
-    ctxn->Commit();
+    s = ctxn->Commit();
+    if (s.IsCrashed()) {
+      ctxn->Abandon();
+      return bail(s);
+    }
+    if (!s.ok()) return bail(s);
+  }
+  {
+    // Crash here: O_new's create is committed (and flushed) while every
+    // parent still references O_old — the earliest Section 4.2
+    // interrupted-migration state FindInterruptedMigrations must detect.
+    Status fp = failpoint::Check("ira:twolock:after-create");
+    if (!fp.ok()) return bail(fp);
   }
   anchor->Lock(onew, LockMode::kExclusive);  // uncontended: unreachable yet
 
   // Process parents one at a time: at most two distinct objects (O and
   // one parent) are ever locked. Parent updates run in their own
   // transactions, optionally grouped (Section 4.3).
-  std::unique_ptr<Transaction> ptxn;
   uint32_t in_group = 0;
-  auto commit_group = [&]() {
-    if (ptxn != nullptr) {
-      ptxn->Commit();
-      ptxn.reset();
-      in_group = 0;
-    }
+  auto commit_group = [&]() -> Status {
+    if (ptxn == nullptr) return Status::Ok();
+    Status cs = ptxn->Commit();
+    if (cs.IsCrashed()) ptxn->Abandon();
+    ptxn.reset();
+    in_group = 0;
+    return cs;
   };
   auto process_parent = [&](ObjectId r) -> Status {
     for (uint32_t attempt = 0; attempt < options.max_retries_per_object;
@@ -396,10 +527,19 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
       if (ptxn == nullptr) ptxn = ctx_.txns->Begin(LogSource::kReorg);
       Status s = ptxn->LockWithTimeout(r, LockMode::kExclusive,
                                        options.lock_timeout);
+      if (s.IsCrashed()) {
+        ptxn->Abandon();
+        ptxn.reset();
+        return s;
+      }
       if (!s.ok()) {
         ++stats->lock_timeouts;
         // Keep completed parent updates; retry this parent afresh.
-        commit_group();
+        Status cs = commit_group();
+        if (!cs.ok()) return cs;
+        if (attempt + 1 < options.max_retries_per_object) {
+          BackoffSleep(attempt, options, stats);
+        }
         continue;
       }
       if (options.wait_for_historical_lockers) {
@@ -410,7 +550,11 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
       ctx_.analyzer->Sync();
       s = RewriteParentEdge(ctx_, ptxn.get(), r, oid, onew, p, nullptr);
       if (!s.ok()) {
-        ptxn->Abort();
+        if (s.IsCrashed()) {
+          ptxn->Abandon();
+        } else {
+          ptxn->Abort();
+        }
         ptxn.reset();
         return s;
       }
@@ -418,19 +562,25 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
       stats->max_distinct_objects_locked = std::max<uint64_t>(
           stats->max_distinct_objects_locked,
           1 /* O_old + O_new */ + ptxn->num_locks_held());
-      if (++in_group >= options.group_size) commit_group();
+      if (++in_group >= options.group_size) {
+        Status cs = commit_group();
+        if (!cs.ok()) return cs;
+      }
+      // Crash here: a prefix of the parents reference O_new (committed),
+      // the rest still reference O_old; both copies live.
+      Status fp = failpoint::Check("ira:twolock:mid-parents");
+      if (!fp.ok()) return fp;
       return Status::Ok();
     }
-    return Status::TimedOut("gave up on parent " + r.ToString());
+    return Status::RetryExhausted("gave up on parent " + r.ToString());
   };
 
   for (ObjectId r : plists->Get(oid)) {
     if (r == oid) continue;
     Status s = process_parent(r);
     if (!s.ok()) {
-      commit_group();
-      anchor->Abort();
-      return s;
+      if (!s.IsCrashed()) commit_group();
+      return bail(s);
     }
   }
 
@@ -445,16 +595,24 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
       if (r != oid && r != onew) {
         Status s = process_parent(r);
         if (!s.ok()) {
-          commit_group();
-          anchor->Abort();
-          return s;
+          if (!s.IsCrashed()) commit_group();
+          return bail(s);
         }
       }
       ctx_.trt->EraseTuple(t);
       ++stats->trt_tuples_drained;
     }
   }
-  commit_group();
+  {
+    Status cs = commit_group();
+    if (!cs.ok()) return bail(cs);
+  }
+  {
+    // Crash here: every parent references O_new, O_old still live — the
+    // fully-rewritten Section 4.2 interrupted state.
+    Status fp = failpoint::Check("ira:twolock:before-finish");
+    if (!fp.ok()) return bail(fp);
+  }
 
   // Finish inside the anchor transaction (it holds the locks on O_old and
   // O_new): children bookkeeping, TRT rename, free O_old. A crash before
@@ -463,11 +621,19 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
   // FindInterruptedMigrations.
   Status s = FinishMigration(ctx_, anchor.get(), oid, onew, refs, p,
                              migrated, plists, stats);
-  if (!s.ok()) {
-    anchor->Abort();
+  if (!s.ok()) return bail(s);
+  {
+    // Crash here: O_old's free is logged but unflushed and uncommitted —
+    // recovery rolls the anchor back, reviving the interrupted state.
+    Status fp = failpoint::Check("ira:twolock:before-commit");
+    if (!fp.ok()) return bail(fp);
+  }
+  s = anchor->Commit();
+  if (s.IsCrashed()) {
+    anchor->Abandon();
     return s;
   }
-  anchor->Commit();
+  if (!s.ok()) return bail(s);
   migrated->insert(oid);
   reverse_relocation_[onew] = oid;
   return Status::Ok();
@@ -513,8 +679,12 @@ Status IraReorganizer::SweepGarbage(
     }
     ++stats->garbage_collected;
   }
-  gtxn->Commit();
-  return Status::Ok();
+  Status cs = gtxn->Commit();
+  if (cs.IsCrashed()) {
+    gtxn->Abandon();
+    return cs;
+  }
+  return cs;
 }
 
 }  // namespace brahma

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/params.h"
 #include "common/status.h"
 #include "core/relocation.h"
 #include "core/reorg_checkpoint.h"
@@ -37,10 +38,27 @@ struct IraOptions {
 
   // Lock-wait timeout for the reorganizer's own acquisitions (deadlocks
   // with user transactions are broken by timeout, Section 5).
-  std::chrono::milliseconds lock_timeout{1000};
+  std::chrono::milliseconds lock_timeout = kPaperLockTimeout;
 
-  // Safety valve on Find_Exact_Parents retries per object.
+  // Safety valve on Find_Exact_Parents retries per object. Exhausting it
+  // returns Status::RetryExhausted with no reorganizer locks left held.
   uint32_t max_retries_per_object = 10000;
+
+  // Exponential backoff between lock-timeout retries: sleep
+  // min(backoff_initial << attempt, backoff_max) before re-trying, so a
+  // reorganizer losing deadlock breaks does not spin-starve the user
+  // transactions it is losing to. backoff_initial of zero disables.
+  std::chrono::milliseconds backoff_initial{1};
+  std::chrono::milliseconds backoff_max{64};
+
+  // Graceful degradation: after this many cumulative lock timeouts the
+  // run stops instead of retrying forever — the open migration group is
+  // committed, a checkpoint is forced into checkpoint_sink (if any), and
+  // Run/Resume return Status::Degraded. Completed migrations stay
+  // durable; a later Resume from the checkpoint finishes the job when
+  // contention subsides. 0 = unlimited (retry until
+  // max_retries_per_object per object).
+  uint64_t contention_budget = 0;
 
   // Section 4.4: checkpoint the reorganization state (Traversed_Objects,
   // Parent_Lists, completed migrations) into *checkpoint_sink every
@@ -86,7 +104,20 @@ class IraReorganizer {
 
   void MaybeCheckpoint(PartitionId p, const IraOptions& options,
                        const std::unordered_set<ObjectId>& traversed,
-                       const ParentLists& plists, const ReorgStats& stats);
+                       const ParentLists& plists, const ReorgStats& stats,
+                       bool force = false);
+
+  // Sleeps the exponential-backoff delay for the given retry attempt and
+  // accounts for it in stats. No-op when backoff is disabled.
+  void BackoffSleep(uint32_t attempt, const IraOptions& options,
+                    ReorgStats* stats);
+
+  // True once stats->lock_timeouts has consumed options.contention_budget.
+  static bool BudgetExhausted(const IraOptions& options,
+                              const ReorgStats& stats) {
+    return options.contention_budget > 0 &&
+           stats.lock_timeouts >= options.contention_budget;
+  }
   // Find_Exact_Parents (Figure 4). On success the exact parent set of oid
   // is locked by txn and recorded in plists; newly taken locks are listed
   // in *newly_locked so a timeout can release just this object's locks.

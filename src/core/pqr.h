@@ -3,6 +3,7 @@
 
 #include <chrono>
 
+#include "common/params.h"
 #include "common/status.h"
 #include "core/relocation.h"
 
@@ -12,7 +13,7 @@ struct PqrOptions {
   // Wait per lock attempt while quiescing; PQR never gives up — it keeps
   // retrying (user transactions break deadlock cycles via their own
   // timeouts and aborts).
-  std::chrono::milliseconds lock_timeout{1000};
+  std::chrono::milliseconds lock_timeout = kPaperLockTimeout;
 };
 
 // Partition Quiesce Reorganization (paper Section 5.1) — the naive

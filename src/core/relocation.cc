@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "common/failpoint.h"
 #include "core/fuzzy_traversal.h"
 
 namespace brahma {
@@ -97,6 +98,9 @@ Status FinishMigration(const ReorgContext& ctx, Transaction* txn,
                        PartitionId reorg_partition,
                        const std::unordered_set<ObjectId>* migrated,
                        ParentLists* plists, ReorgStats* stats) {
+  // Crash here: parents already point at O_new, ERTs/parent-lists still
+  // carry O_old's out-edges, both copies live.
+  BRAHMA_FAILPOINT("ira:finish:before-ert-fixup");
   // Sync the analyzer first: every user operation that touched O_old's
   // references completed before the migration took over (its writers all
   // held and released locks we then acquired), so after this sync the
@@ -158,6 +162,9 @@ Status FinishMigration(const ReorgContext& ctx, Transaction* txn,
   // TRT tuples naming O_old as the *parent* now physically live in O_new.
   ctx.trt->RenameParent(oid, onew);
 
+  // Crash here: everything done except freeing O_old — the canonical
+  // Section 4.2 interrupted state (both copies live, parents on O_new).
+  BRAHMA_FAILPOINT("ira:finish:before-free");
   // Delete O_old.
   Status s = txn->FreeObject(oid);
   if (!s.ok()) return s;
@@ -261,6 +268,9 @@ Status MoveObjectAndUpdateRefs(const ReorgContext& ctx, Transaction* txn,
       txn->CreateObjectWithContents(planner->Target(oid), new_refs, new_data,
                                     &onew, oid);
   if (!s.ok()) return s;
+  // Crash here: O_new exists but is uncommitted — recovery undoes the
+  // whole migration transaction and O_old stays authoritative.
+  BRAHMA_FAILPOINT("ira:move:after-copy");
 
   // Change the reference in each parent to point to O_new.
   for (ObjectId parent : parents) {
@@ -268,6 +278,8 @@ Status MoveObjectAndUpdateRefs(const ReorgContext& ctx, Transaction* txn,
     s = RewriteParentEdge(ctx, txn, parent, oid, onew, reorg_partition,
                           nullptr);
     if (!s.ok()) return s;
+    // Crash here: some parents rewritten, some not, all uncommitted.
+    BRAHMA_FAILPOINT("ira:move:mid-parent-rewrite");
   }
 
   s = FinishMigration(ctx, txn, oid, onew, refs, reorg_partition, migrated,

@@ -136,6 +136,14 @@ struct ReorgStats {
   uint64_t traversal_visited = 0;
   uint64_t trt_peak_size = 0;
   uint64_t max_distinct_objects_locked = 0;
+  // Contention-handling accounting: exponential-backoff sleeps taken
+  // between lock-timeout retries, and their cumulative duration.
+  uint64_t backoff_sleeps = 0;
+  uint64_t backoff_total_ms = 0;
+  // Failpoint triggers observed during this run (delta of the global
+  // trigger counter; attributes concurrent-mutator triggers to the run
+  // they overlapped, which is what fault-injection reports want).
+  uint64_t faults_injected = 0;
   double duration_ms = 0;
   std::unordered_map<ObjectId, ObjectId> relocation;
 };

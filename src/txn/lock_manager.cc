@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace brahma {
 
 bool LockManager::TryGrant(LockEntry* entry) {
@@ -37,6 +39,9 @@ bool LockManager::TryGrant(LockEntry* entry) {
 
 Status LockManager::Acquire(TxnId txn, ObjectId oid, LockMode mode,
                             std::chrono::milliseconds timeout) {
+  // `lock:acquire=timeout` injects persistent contention (every acquire
+  // behaves as a deadlock-broken wait); `delay` models a convoy.
+  BRAHMA_FAILPOINT("lock:acquire");
   Shard& shard = ShardFor(oid);
   std::unique_lock<std::mutex> l(shard.mu);
   auto& entry_ptr = shard.entries[oid];

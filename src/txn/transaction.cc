@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/failpoint.h"
 #include "txn/transaction_manager.h"
 
 namespace brahma {
@@ -201,13 +202,29 @@ Status Transaction::FreeObject(ObjectId oid) {
 
 Status Transaction::Commit() {
   if (state_ != State::kActive) return Status::Aborted("txn not active");
+  // Crash before the commit record exists: the transaction is a loser
+  // and restart recovery undoes it from the stable log.
+  BRAHMA_FAILPOINT(source_ == LogSource::kReorg ? "txn:reorg-commit:begin"
+                                                : "txn:commit:begin");
   LogRecord rec;
   rec.type = LogRecordType::kCommit;
   Lsn lsn = AppendOwn(std::move(rec));
+  // Crash after the commit record is appended but before the force: the
+  // record is discarded unless a concurrent committer's flush already
+  // made it stable — both outcomes are legal recovery inputs.
+  BRAHMA_FAILPOINT(source_ == LogSource::kReorg
+                       ? "txn:reorg-commit:before-flush"
+                       : "txn:commit:before-flush");
   ctx_.log->Flush(lsn);
   state_ = State::kCommitted;
   mgr_->OnComplete(this, /*committed=*/true);
   return Status::Ok();
+}
+
+void Transaction::Abandon() {
+  if (state_ != State::kActive) return;
+  state_ = State::kAborted;
+  mgr_->OnAbandon(this);
 }
 
 Status Transaction::Abort() {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/latch.h"
+#include "common/params.h"
 #include "common/status.h"
 #include "storage/object_store.h"
 #include "txn/lock_manager.h"
@@ -25,7 +26,7 @@ struct TxnContext {
   // Mutators hold this shared around each (log append, apply) pair so a
   // checkpoint (exclusive) sees an arena image consistent with its LSN.
   SharedLatch* checkpoint_latch = nullptr;
-  std::chrono::milliseconds lock_timeout{1000};
+  std::chrono::milliseconds lock_timeout = kPaperLockTimeout;
   bool strict_2pl = true;
 };
 
@@ -92,6 +93,15 @@ class Transaction {
   // --- completion ----------------------------------------------------------
   Status Commit();
   Status Abort();
+
+  // Crash semantics: the transaction simply stops — no undo, no abort
+  // record, no completion hook, locks left in the lock manager (a dead
+  // process releases nothing). Used when a crash failpoint fires
+  // mid-transaction: restart recovery, not in-memory undo, decides the
+  // transaction's fate. Also models user threads cut off by the crash.
+  // The object is deregistered so quiesce barriers do not wait on it;
+  // SimulateCrash clears the leftover lock state.
+  void Abandon();
 
   // Transaction-local memory: references the transaction has copied out
   // of objects (paper Section 2). Maintained by ReadRefs/ReadRef and used

@@ -57,6 +57,15 @@ void TransactionManager::Reset() {
   cv_.notify_all();
 }
 
+void TransactionManager::OnAbandon(Transaction* txn) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    active_.erase(txn->id());
+    registry_.erase(txn->id());
+  }
+  cv_.notify_all();
+}
+
 void TransactionManager::OnComplete(Transaction* txn, bool committed) {
   if (completion_hook_) completion_hook_(txn->id(), committed);
   if (ctx_.locks->history_enabled()) {

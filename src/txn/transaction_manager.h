@@ -61,6 +61,10 @@ class TransactionManager {
   // Called by Transaction at the end of commit/abort processing.
   void OnComplete(Transaction* txn, bool committed);
 
+  // Called by Transaction::Abandon: deregisters without running the
+  // completion hook or releasing locks (crash semantics).
+  void OnAbandon(Transaction* txn);
+
   TxnContext ctx_;
   std::function<void(TxnId, bool)> completion_hook_;
 

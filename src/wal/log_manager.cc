@@ -2,9 +2,15 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace brahma {
 
 Lsn LogManager::Append(LogRecord record) {
+  // Delay-only site (Append cannot fail): models a stalled log device.
+  // Deliberately outside mu_ so an injected stall does not serialize
+  // unrelated appenders more than a real device would.
+  BRAHMA_FAILPOINT_HIT("wal:append");
   std::unique_lock<std::mutex> l(mu_);
   record.lsn = next_lsn_++;
   Lsn lsn = record.lsn;
@@ -14,6 +20,8 @@ Lsn LogManager::Append(LogRecord record) {
 }
 
 void LogManager::Flush(Lsn target) {
+  // Delay-only site: a slow force at commit time (group-commit stall).
+  BRAHMA_FAILPOINT_HIT("wal:flush");
   bool advanced = false;
   {
     std::unique_lock<std::mutex> l(mu_);

@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/failpoint.h"
+
 namespace brahma {
 
 namespace {
@@ -118,6 +120,9 @@ void UndoApply(ObjectStore* store, const LogRecord& rec) {
 
 Status RunRestartRecovery(ObjectStore* store, LogManager* log,
                           const CheckpointImage* checkpoint) {
+  // Error injection here exercises "recovery itself fails" surfacing
+  // (a second crash during restart is the classic double-fault case).
+  BRAHMA_FAILPOINT("recovery:start");
   // 1. Restore the last checkpoint image (or empty arenas).
   Lsn redo_from = 1;
   if (checkpoint != nullptr && checkpoint->valid) {
@@ -139,9 +144,11 @@ Status RunRestartRecovery(ObjectStore* store, LogManager* log,
   }
 
   // 2. Redo: repeat history forward from the checkpoint.
+  BRAHMA_FAILPOINT("recovery:before-redo");
   for (const LogRecord& rec : log->StableRecordsFrom(redo_from)) {
     RedoApply(store, rec);
   }
+  BRAHMA_FAILPOINT("recovery:before-undo");
 
   // 3. Analysis over the whole stable log: find losers and their last
   // record.

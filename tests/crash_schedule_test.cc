@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/random.h"
+#include "core/database.h"
+#include "core/ira.h"
+#include "tests/test_util.h"
+#include "workload/graph_builder.h"
+
+namespace brahma {
+namespace {
+
+using ::brahma::testing::CollectReachable;
+using ::brahma::testing::CountDanglingRefs;
+using ::brahma::testing::CountErtDiscrepancies;
+using ::brahma::testing::CountLiveObjects;
+
+// The crash-schedule harness: discover every failpoint site a live IRA
+// run passes through, then for each site crash there mid-reorganization
+// (with concurrent mutators), run restart recovery, fold any Section 4.2
+// interrupted migrations, check global invariants, and finish the
+// reorganization from the checkpoint (or from scratch).
+
+// Sites owned by the reorganization thread. Crashing a site that user
+// transactions also pass through (lock:acquire, txn:commit:*) would kill
+// a mutator instead of the reorganizer, which is a different test.
+bool IsReorgSite(const std::string& site) {
+  return site.rfind("ira:", 0) == 0 || site.rfind("txn:reorg-", 0) == 0;
+}
+
+std::vector<std::string> DiscoverSites(bool two_lock) {
+  FailPoints::Instance().Reset();
+  Database db(testing::SmallDbOptions(5));
+  WorkloadParams params = testing::SmallWorkload(2);
+  params.objects_per_partition = 85 * 2;
+  BuiltGraph graph;
+  GraphBuilder builder(&db);
+  EXPECT_TRUE(builder.Build(params, &graph).ok());
+
+  FailPoints::Instance().set_tracing(true);
+  IraOptions opt;
+  opt.two_lock_mode = two_lock;
+  CopyOutPlanner planner(5);
+  ReorgStats stats;
+  EXPECT_TRUE(db.RunIra(1, &planner, opt, &stats).ok());
+
+  std::vector<std::string> sites;
+  for (const std::string& s :
+       FailPoints::Instance().SitesHit(/*status_capable_only=*/true)) {
+    if (IsReorgSite(s)) sites.push_back(s);
+  }
+  std::sort(sites.begin(), sites.end());
+  FailPoints::Instance().Reset();
+  return sites;
+}
+
+TEST(CrashScheduleTest, DiscoveryEnumeratesAtLeastTenSites) {
+  std::vector<std::string> basic = DiscoverSites(/*two_lock=*/false);
+  std::vector<std::string> twolock = DiscoverSites(/*two_lock=*/true);
+  std::set<std::string> all(basic.begin(), basic.end());
+  all.insert(twolock.begin(), twolock.end());
+  EXPECT_GE(basic.size(), 6u) << "basic-mode sites";
+  EXPECT_GE(twolock.size(), 6u) << "two-lock-mode sites";
+  EXPECT_GE(all.size(), 10u);
+  // The migration steps the issue calls out must all be present.
+  EXPECT_TRUE(all.count("ira:basic:after-parent-locks"));
+  EXPECT_TRUE(all.count("ira:basic:before-commit"));
+  EXPECT_TRUE(all.count("ira:move:after-copy"));
+  EXPECT_TRUE(all.count("ira:move:mid-parent-rewrite"));
+  EXPECT_TRUE(all.count("ira:finish:before-ert-fixup"));
+  EXPECT_TRUE(all.count("ira:finish:before-free"));
+  EXPECT_TRUE(all.count("ira:twolock:after-create"));
+  EXPECT_TRUE(all.count("ira:twolock:before-commit"));
+  EXPECT_TRUE(all.count("txn:reorg-commit:before-flush"));
+}
+
+// Edge-preserving mutator: swaps two valid reference slots of one locked
+// partition-2 object per transaction. The edge multiset of the graph is
+// invariant under these (committed or rolled back), so reachable-set and
+// live-count checks stay exact across crash and recovery.
+class SlotSwapMutators {
+ public:
+  SlotSwapMutators(Database* db, PartitionId p, int threads) : db_(db) {
+    db_->store().partition(p).ForEachLiveObject([&](uint64_t off) {
+      ObjectId oid(p, off);
+      const ObjectHeader* h = db_->store().partition(p).HeaderAt(off);
+      int valid = 0;
+      for (uint32_t i = 0; i < h->num_refs; ++i) {
+        if (h->refs()[i].valid()) ++valid;
+      }
+      if (valid >= 2) targets_.push_back(oid);
+    });
+    for (int t = 0; t < threads; ++t) {
+      threads_.emplace_back([this, t]() { Loop(t); });
+    }
+  }
+
+  void StopAndJoin() {
+    stop_.store(true);
+    for (auto& t : threads_) t.join();
+    threads_.clear();
+  }
+
+  uint64_t committed() const { return committed_.load(); }
+
+ private:
+  void Loop(int id) {
+    Random rng(1000 + id);
+    while (!stop_.load()) {
+      ObjectId target = targets_[rng.Uniform(targets_.size())];
+      auto txn = db_->Begin();
+      if (!txn->LockWithTimeout(target, LockMode::kExclusive,
+                                std::chrono::milliseconds(30))
+               .ok()) {
+        txn->Abort();
+        continue;
+      }
+      std::vector<ObjectId> refs;
+      if (!txn->ReadRefs(target, &refs).ok()) {
+        txn->Abort();
+        continue;
+      }
+      std::vector<uint32_t> valid;
+      for (uint32_t i = 0; i < refs.size(); ++i) {
+        if (refs[i].valid()) valid.push_back(i);
+      }
+      if (valid.size() < 2) {
+        txn->Abort();
+        continue;
+      }
+      uint32_t a = valid[rng.Uniform(valid.size())];
+      uint32_t b = valid[rng.Uniform(valid.size())];
+      if (a == b || !txn->SetRef(target, a, refs[b]).ok() ||
+          !txn->SetRef(target, b, refs[a]).ok()) {
+        txn->Abort();
+        continue;
+      }
+      if (txn->Commit().ok()) committed_.fetch_add(1);
+    }
+  }
+
+  Database* db_;
+  std::vector<ObjectId> targets_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> committed_{0};
+};
+
+uint64_t TotalLiveObjects(ObjectStore* store) {
+  uint64_t n = 0;
+  for (uint32_t p = 0; p < store->num_partitions(); ++p) {
+    n += CountLiveObjects(store, static_cast<PartitionId>(p));
+  }
+  return n;
+}
+
+// One schedule: crash the reorganizer at `site`, recover, verify, finish.
+void RunCrashSchedule(bool two_lock, const std::string& site) {
+  SCOPED_TRACE((two_lock ? "twolock @ " : "basic @ ") + site);
+  FailPoints::Instance().Reset();
+
+  DatabaseOptions dopt = testing::SmallDbOptions(5);
+  dopt.lock_timeout = std::chrono::milliseconds(100);
+  Database db(dopt);
+  WorkloadParams params = testing::SmallWorkload(2);
+  params.objects_per_partition = 85 * 2;
+  BuiltGraph graph;
+  GraphBuilder builder(&db);
+  ASSERT_TRUE(builder.Build(params, &graph).ok());
+
+  const uint64_t live_p1 = CountLiveObjects(&db.store(), 1);
+  const uint64_t total_live = TotalLiveObjects(&db.store());
+  const size_t reachable_before = CollectReachable(&db.store()).size();
+
+  // Database checkpoint for restart recovery, then mutators + armed site.
+  db.Checkpoint();
+  SlotSwapMutators mutators(&db, 2, /*threads=*/2);
+
+  FailSpec spec;
+  spec.action = FailSpec::Action::kCrash;
+  spec.start_hit = 25;  // deep enough that reorg checkpoints exist
+  FailPoints::Instance().Arm(site, spec);
+
+  ReorgCheckpoint ckpt;
+  IraOptions opt;
+  opt.two_lock_mode = two_lock;
+  opt.lock_timeout = std::chrono::milliseconds(100);
+  opt.backoff_initial = std::chrono::milliseconds(1);
+  opt.checkpoint_sink = &ckpt;
+  opt.checkpoint_every = 10;
+  CopyOutPlanner planner(5);
+  ReorgStats stats;
+  IraReorganizer ira(db.reorg_context());
+  Status s = ira.Run(1, &planner, opt, &stats);
+  mutators.StopAndJoin();
+  ASSERT_TRUE(s.IsCrashed()) << s.ToString();
+  EXPECT_GT(stats.faults_injected, 0u);
+  FailPoints::Instance().Reset();
+
+  // The process "died"; volatile state goes away, restart recovery runs.
+  db.SimulateCrash();
+  ASSERT_TRUE(db.Recover().ok());
+  EXPECT_EQ(db.locks().NumLockedObjects(), 0u);
+
+  // Fold Section 4.2 interrupted migrations before transactions resume.
+  ReorgContext ctx = db.reorg_context();
+  for (const InterruptedMigration& m :
+       FindInterruptedMigrations(&db.store(), &db.log())) {
+    ASSERT_TRUE(CompleteInterruptedMigration(ctx, m.old_id, m.new_id).ok());
+  }
+
+  // Post-recovery invariants: no dangling references, ERTs match the
+  // physical graph, edge-preserving mutations kept counts exact.
+  db.analyzer().Sync();
+  EXPECT_EQ(CountDanglingRefs(&db.store()), 0);
+  EXPECT_EQ(CountErtDiscrepancies(&db.store(), &db.erts()), 0);
+  EXPECT_EQ(TotalLiveObjects(&db.store()), total_live);
+  EXPECT_EQ(CollectReachable(&db.store()).size(), reachable_before);
+
+  // Finish the reorganization: resume from the reorg checkpoint when one
+  // was cut before the crash, else start over.
+  ReorgStats stats2;
+  IraOptions fin;
+  fin.two_lock_mode = two_lock;
+  IraReorganizer ira2(db.reorg_context());
+  Status fs = ckpt.valid ? ira2.Resume(ckpt, &planner, fin, &stats2)
+                         : ira2.Run(1, &planner, fin, &stats2);
+  ASSERT_TRUE(fs.ok()) << fs.ToString();
+
+  db.analyzer().Sync();
+  EXPECT_EQ(CountLiveObjects(&db.store(), 1), 0u);
+  EXPECT_EQ(CountLiveObjects(&db.store(), 5), live_p1);
+  EXPECT_EQ(CountDanglingRefs(&db.store()), 0);
+  EXPECT_EQ(CountErtDiscrepancies(&db.store(), &db.erts()), 0);
+  EXPECT_EQ(CollectReachable(&db.store()).size(), reachable_before);
+  EXPECT_EQ(db.locks().NumLockedObjects(), 0u);
+}
+
+TEST(CrashScheduleTest, BasicModeSurvivesCrashAtEverySite) {
+  std::vector<std::string> sites = DiscoverSites(/*two_lock=*/false);
+  ASSERT_FALSE(sites.empty());
+  for (const std::string& site : sites) {
+    RunCrashSchedule(/*two_lock=*/false, site);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(CrashScheduleTest, TwoLockModeSurvivesCrashAtEverySite) {
+  std::vector<std::string> sites = DiscoverSites(/*two_lock=*/true);
+  ASSERT_FALSE(sites.empty());
+  for (const std::string& site : sites) {
+    RunCrashSchedule(/*two_lock=*/true, site);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// Satellite: the Section 4.2 window between the two copies — O_new's
+// create has committed, O_old still holds the data's old identity, and
+// the crash lands before the anchor transaction ties them together.
+// FindInterruptedMigrations must report the pair after restart and
+// CompleteInterruptedMigration must fold it.
+TEST(CrashScheduleTest, TwoLockCrashBetweenCopiesIsFoldedOnRestart) {
+  FailPoints::Instance().Reset();
+  Database db(testing::SmallDbOptions(5));
+  WorkloadParams params = testing::SmallWorkload(2);
+  params.objects_per_partition = 85;
+  BuiltGraph graph;
+  GraphBuilder builder(&db);
+  ASSERT_TRUE(builder.Build(params, &graph).ok());
+  const uint64_t total_live = TotalLiveObjects(&db.store());
+  db.Checkpoint();
+
+  // Crash on the 3rd migration, right after O_new commits and before any
+  // parent learns about it.
+  ASSERT_TRUE(FailPoints::Instance()
+                  .ArmFromString("ira:twolock:after-create=crash.nth(3)")
+                  .ok());
+  IraOptions opt;
+  opt.two_lock_mode = true;
+  CopyOutPlanner planner(5);
+  ReorgStats stats;
+  IraReorganizer ira(db.reorg_context());
+  Status s = ira.Run(1, &planner, opt, &stats);
+  ASSERT_TRUE(s.IsCrashed()) << s.ToString();
+  ASSERT_EQ(stats.objects_migrated, 2u);
+  FailPoints::Instance().Reset();
+
+  db.SimulateCrash();
+  ASSERT_TRUE(db.Recover().ok());
+
+  // Both copies of the in-flight object survived the crash.
+  auto pairs = FindInterruptedMigrations(&db.store(), &db.log());
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_TRUE(db.store().Validate(pairs[0].old_id));
+  EXPECT_TRUE(db.store().Validate(pairs[0].new_id));
+  EXPECT_EQ(pairs[0].old_id.partition(), 1u);
+  EXPECT_EQ(pairs[0].new_id.partition(), 5u);
+
+  ReorgContext ctx = db.reorg_context();
+  ASSERT_TRUE(
+      CompleteInterruptedMigration(ctx, pairs[0].old_id, pairs[0].new_id)
+          .ok());
+  EXPECT_FALSE(db.store().Validate(pairs[0].old_id));
+  EXPECT_EQ(TotalLiveObjects(&db.store()), total_live);
+  EXPECT_EQ(CountDanglingRefs(&db.store()), 0);
+  EXPECT_EQ(CountErtDiscrepancies(&db.store(), &db.erts()), 0);
+
+  // The rest of the partition still reorganizes cleanly.
+  ReorgStats stats2;
+  IraOptions fin;
+  fin.two_lock_mode = true;
+  IraReorganizer ira2(db.reorg_context());
+  ASSERT_TRUE(ira2.Run(1, &planner, fin, &stats2).ok());
+  EXPECT_EQ(CountLiveObjects(&db.store(), 1), 0u);
+  EXPECT_EQ(CountDanglingRefs(&db.store()), 0);
+}
+
+}  // namespace
+}  // namespace brahma
