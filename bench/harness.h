@@ -3,11 +3,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/params.h"
@@ -74,6 +77,59 @@ inline bool FullMode() {
   const char* env = std::getenv("BRAHMA_BENCH_FULL");
   return env != nullptr && env[0] == '1';
 }
+
+// True when a CI-sized smoke run was requested: tiny workloads, minimal
+// sweep points, seconds instead of minutes.
+inline bool SmokeMode() {
+  const char* env = std::getenv("BRAHMA_BENCH_SMOKE");
+  return env != nullptr && env[0] == '1';
+}
+
+// Accumulates benchmark rows and writes them as a JSON document:
+//   {"bench": "<name>", "rows": [{"k": v, ...}, ...]}
+// Keys within a row keep insertion order; values are numbers. No
+// external dependencies — the output is consumed by plotting scripts and
+// CI artifact diffing.
+class JsonBenchWriter {
+ public:
+  explicit JsonBenchWriter(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+
+  void BeginRow() { rows_.emplace_back(); }
+
+  void Add(const std::string& key, double value) {
+    rows_.back().emplace_back(key, value);
+  }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", name_.c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "    {");
+      for (size_t j = 0; j < rows_[i].size(); ++j) {
+        const auto& [key, value] = rows_[i][j];
+        std::fprintf(f, "%s\"%s\": ", j == 0 ? "" : ", ", key.c_str());
+        if (std::isfinite(value) && value == static_cast<double>(
+                                                 static_cast<long long>(value))) {
+          std::fprintf(f, "%lld", static_cast<long long>(value));
+        } else if (std::isfinite(value)) {
+          std::fprintf(f, "%.6g", value);
+        } else {
+          std::fprintf(f, "null");
+        }
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, double>>> rows_;
+};
 
 // Runs one experiment: build the database and the Section 5.2 object
 // graph, spawn the MPL workload threads, run the configured

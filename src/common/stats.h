@@ -2,11 +2,99 @@
 #define BRAHMA_COMMON_STATS_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
+#include "storage/object_id.h"
+
 namespace brahma {
+
+// Lock-free maximum update for monotone gauges (peak sizes etc.).
+inline void AtomicMax(std::atomic<uint64_t>* gauge, uint64_t value) {
+  uint64_t cur = gauge->load(std::memory_order_relaxed);
+  while (cur < value &&
+         !gauge->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+// Migration statistics (also records the old -> new identity mapping).
+// Thread-safe for the parallel migration pipeline: counters are atomics
+// (workers bump them concurrently), the relocation map is guarded by an
+// internal mutex — use AddRelocation/Relocated/RelocationSnapshot on
+// concurrent paths; direct access to `relocation` is fine only while a
+// single thread owns the stats (setup, post-run assertions).
+struct ReorgStats {
+  std::atomic<uint64_t> objects_migrated{0};
+  std::atomic<uint64_t> garbage_collected{0};
+  std::atomic<uint64_t> bytes_moved{0};
+  std::atomic<uint64_t> find_exact_retries{0};
+  std::atomic<uint64_t> lock_timeouts{0};
+  std::atomic<uint64_t> trt_tuples_drained{0};
+  std::atomic<uint64_t> traversal_visited{0};
+  std::atomic<uint64_t> trt_peak_size{0};
+  std::atomic<uint64_t> max_distinct_objects_locked{0};
+  // Contention-handling accounting: exponential-backoff sleeps taken
+  // between lock-timeout retries (including parallel-pipeline deferrals),
+  // and their cumulative duration.
+  std::atomic<uint64_t> backoff_sleeps{0};
+  std::atomic<uint64_t> backoff_total_ms{0};
+  // Parallel pipeline: migrations deferred up front because their
+  // footprint (object + approximate parents) overlapped a sibling
+  // worker's in-flight migration. Cheap — no lock wait is burned.
+  std::atomic<uint64_t> claim_deferrals{0};
+  // Failpoint triggers observed during this run (delta of the global
+  // trigger counter; attributes concurrent-mutator triggers to the run
+  // they overlapped, which is what fault-injection reports want).
+  std::atomic<uint64_t> faults_injected{0};
+  double duration_ms = 0;
+  std::unordered_map<ObjectId, ObjectId> relocation;
+
+  ReorgStats() = default;
+  ReorgStats(const ReorgStats& other) { *this = other; }
+  ReorgStats& operator=(const ReorgStats& other) {
+    if (this == &other) return *this;
+    objects_migrated.store(other.objects_migrated.load());
+    garbage_collected.store(other.garbage_collected.load());
+    bytes_moved.store(other.bytes_moved.load());
+    find_exact_retries.store(other.find_exact_retries.load());
+    lock_timeouts.store(other.lock_timeouts.load());
+    trt_tuples_drained.store(other.trt_tuples_drained.load());
+    traversal_visited.store(other.traversal_visited.load());
+    trt_peak_size.store(other.trt_peak_size.load());
+    max_distinct_objects_locked.store(other.max_distinct_objects_locked.load());
+    backoff_sleeps.store(other.backoff_sleeps.load());
+    backoff_total_ms.store(other.backoff_total_ms.load());
+    faults_injected.store(other.faults_injected.load());
+    duration_ms = other.duration_ms;
+    std::scoped_lock l(relocation_mu_, other.relocation_mu_);
+    relocation = other.relocation;
+    return *this;
+  }
+
+  void AddRelocation(ObjectId from, ObjectId to) {
+    std::lock_guard<std::mutex> g(relocation_mu_);
+    relocation[from] = to;
+  }
+  // True (and *to filled in) when `from` was relocated by this run.
+  bool Relocated(ObjectId from, ObjectId* to) const {
+    std::lock_guard<std::mutex> g(relocation_mu_);
+    auto it = relocation.find(from);
+    if (it == relocation.end()) return false;
+    *to = it->second;
+    return true;
+  }
+  std::unordered_map<ObjectId, ObjectId> RelocationSnapshot() const {
+    std::lock_guard<std::mutex> g(relocation_mu_);
+    return relocation;
+  }
+
+ private:
+  mutable std::mutex relocation_mu_;
+};
 
 // Streaming summary of a sample (Welford's algorithm) plus retained raw
 // values for percentiles/max. Used for response-time analysis (paper

@@ -68,6 +68,7 @@ class Status {
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
   bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
   bool IsAborted() const { return code_ == Code::kAborted; }
   bool IsNoSpace() const { return code_ == Code::kNoSpace; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }

@@ -1,6 +1,8 @@
 #include "core/ira.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
 #include <memory>
 #include <string>
 #include <thread>
@@ -18,14 +20,194 @@ namespace {
 ObjectId ResolveRelocated(const ObjectStore& store, const ReorgStats& stats,
                           ObjectId id) {
   while (!store.Validate(id)) {
-    auto it = stats.relocation.find(id);
-    if (it == stats.relocation.end()) break;
-    id = it->second;
+    ObjectId next;
+    if (!stats.Relocated(id, &next)) break;
+    id = next;
   }
   return id;
 }
 
+template <typename F>
+struct Cleanup {
+  F fn;
+  ~Cleanup() { fn(); }
+};
+template <typename F>
+Cleanup<F> MakeCleanup(F fn) {
+  return Cleanup<F>{std::move(fn)};
+}
+
 }  // namespace
+
+// Work queue plus checkpoint barrier shared by the N migrator workers of
+// the parallel pipeline. Objects enter in planner order; a worker that
+// loses a lock race requeues its object with a backoff deadline instead
+// of blocking, so siblings steal the ready work in the meantime.
+class MigrationPipe {
+ public:
+  struct Item {
+    ObjectId oid;
+    uint32_t attempt = 0;
+  };
+
+  enum class Next { kItem, kBarrier, kDrained, kStopped };
+
+  MigrationPipe(const std::vector<ObjectId>& objects, uint32_t workers,
+                uint32_t checkpoint_every)
+      : active_(workers), next_ckpt_at_(checkpoint_every) {
+    for (ObjectId oid : objects) ready_.push_back(Item{oid, 0});
+  }
+
+  Next Pop(Item* out) {
+    std::unique_lock<std::mutex> l(mu_);
+    for (;;) {
+      if (stopped_) return Next::kStopped;
+      if (ckpt_requested_) return Next::kBarrier;
+      if (!ready_.empty()) {
+        *out = ready_.front();
+        ready_.pop_front();
+        ++in_flight_;
+        return Next::kItem;
+      }
+      // Promote deferred items whose backoff elapsed.
+      const auto now = std::chrono::steady_clock::now();
+      bool promoted = false;
+      for (size_t i = 0; i < deferred_.size();) {
+        if (deferred_[i].ready_at <= now) {
+          ready_.push_back(Item{deferred_[i].oid, deferred_[i].attempt});
+          deferred_[i] = deferred_.back();
+          deferred_.pop_back();
+          promoted = true;
+        } else {
+          ++i;
+        }
+      }
+      if (promoted) continue;
+      if (deferred_.empty()) {
+        if (in_flight_ == 0) return Next::kDrained;
+        cv_.wait(l);
+      } else {
+        auto earliest = deferred_.front().ready_at;
+        for (const Deferred& d : deferred_) {
+          earliest = std::min(earliest, d.ready_at);
+        }
+        cv_.wait_until(l, earliest);
+      }
+    }
+  }
+
+  // The popped item migrated (or was skipped): it leaves the pipe.
+  void Done() {
+    std::lock_guard<std::mutex> l(mu_);
+    --in_flight_;
+    cv_.notify_all();
+  }
+
+  // The popped item lost a lock race: it re-enters the pipe after the
+  // backoff delay. The worker holds no locks while the item waits.
+  void Requeue(ObjectId oid, uint32_t attempt,
+               std::chrono::milliseconds delay) {
+    std::lock_guard<std::mutex> l(mu_);
+    --in_flight_;
+    deferred_.push_back(
+        Deferred{oid, attempt, std::chrono::steady_clock::now() + delay});
+    cv_.notify_all();
+  }
+
+  // First failure wins, except a simulated crash always wins: a crashed
+  // run must surface as crashed no matter what the other workers hit
+  // while the pipeline unwound.
+  void Stop(Status s) {
+    std::lock_guard<std::mutex> l(mu_);
+    if (!stopped_) {
+      result_ = s;
+    } else if (s.IsCrashed() && !result_.IsCrashed()) {
+      result_ = s;
+    }
+    stopped_ = true;
+    cv_.notify_all();
+  }
+
+  bool stopped() {
+    std::lock_guard<std::mutex> l(mu_);
+    return stopped_;
+  }
+
+  Status result() {
+    std::lock_guard<std::mutex> l(mu_);
+    return stopped_ ? result_ : Status::Ok();
+  }
+
+  bool CheckpointDue(uint64_t migrated_now) {
+    std::lock_guard<std::mutex> l(mu_);
+    return next_ckpt_at_ != 0 && migrated_now >= next_ckpt_at_;
+  }
+
+  void RequestCheckpoint() {
+    std::lock_guard<std::mutex> l(mu_);
+    ckpt_requested_ = true;
+    cv_.notify_all();
+  }
+
+  // Checkpoint rendezvous. Every worker that sees kBarrier commits its
+  // open group, then arrives here. Once all active workers have paused,
+  // exactly one is elected cutter (returns true) and snapshots the
+  // checkpoint while the others stay parked; the cutter then calls
+  // BarrierCut to release them.
+  bool ArriveBarrier() {
+    std::unique_lock<std::mutex> l(mu_);
+    if (!ckpt_requested_ || stopped_) return false;
+    ++paused_;
+    cv_.notify_all();
+    cv_.wait(l, [&] {
+      return !ckpt_requested_ || stopped_ ||
+             (paused_ == active_ && !cutter_elected_);
+    });
+    if (ckpt_requested_ && !stopped_ && paused_ == active_ &&
+        !cutter_elected_) {
+      cutter_elected_ = true;
+      return true;  // cutter keeps its paused slot until BarrierCut
+    }
+    --paused_;
+    cv_.notify_all();
+    return false;
+  }
+
+  void BarrierCut(uint64_t next_target) {
+    std::lock_guard<std::mutex> l(mu_);
+    ckpt_requested_ = false;
+    cutter_elected_ = false;
+    next_ckpt_at_ = next_target;
+    --paused_;
+    cv_.notify_all();
+  }
+
+  void WorkerExit() {
+    std::lock_guard<std::mutex> l(mu_);
+    --active_;
+    cv_.notify_all();
+  }
+
+ private:
+  struct Deferred {
+    ObjectId oid;
+    uint32_t attempt;
+    std::chrono::steady_clock::time_point ready_at;
+  };
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Item> ready_;
+  std::vector<Deferred> deferred_;
+  uint32_t in_flight_ = 0;
+  uint32_t active_;
+  uint32_t paused_ = 0;
+  bool ckpt_requested_ = false;
+  bool cutter_elected_ = false;
+  bool stopped_ = false;
+  Status result_ = Status::Ok();
+  uint64_t next_ckpt_at_;
+};
 
 Status IraReorganizer::Run(PartitionId p, RelocationPlanner* planner,
                            const IraOptions& options, ReorgStats* stats) {
@@ -59,10 +241,15 @@ Status IraReorganizer::Run(PartitionId p, RelocationPlanner* planner,
   planner->Order(&objects);
 
   // Step 2: for each object, find and lock the exact parents, then move.
-  std::unordered_set<ObjectId> migrated;
-  group_txn_.reset();
-  in_group_ = 0;
-  reverse_relocation_.clear();
+  MigratedSet migrated;
+  {
+    std::lock_guard<std::mutex> g(reloc_mu_);
+    reverse_relocation_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> g(claims_mu_);
+    claims_.clear();
+  }
   Status result = MigrateAllAndFinish(p, planner, options, tr.traversed,
                                       std::move(objects), &migrated, &plists,
                                       stats);
@@ -100,22 +287,29 @@ Status IraReorganizer::Resume(const ReorgCheckpoint& checkpoint,
   TraversalResult tr;
   tr.traversed = checkpoint.traversed;
   tr.parents = ParentLists::FromFlat(checkpoint.parents);
-  std::unordered_set<ObjectId> migrated;
-  reverse_relocation_.clear();
+  MigratedSet migrated;
+  {
+    std::lock_guard<std::mutex> g(reloc_mu_);
+    reverse_relocation_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> g(claims_mu_);
+    claims_.clear();
+  }
   for (const auto& [old_id, new_id] : checkpoint.relocation) {
-    migrated.insert(old_id);
-    stats->relocation[old_id] = new_id;
-    reverse_relocation_[new_id] = old_id;
+    migrated.Insert(old_id);
+    stats->AddRelocation(old_id, new_id);
+    RecordReverseRelocation(new_id, old_id);
   }
   // Patch for migrations that committed after the checkpoint: their old
   // identities are dead; parents recorded under them now live in the new
   // copies.
   for (const auto& [old_id, new_id] :
        PostCheckpointRelocations(ctx_.log, checkpoint.lsn)) {
-    if (migrated.count(old_id) > 0) continue;
-    migrated.insert(old_id);
-    stats->relocation[old_id] = new_id;
-    reverse_relocation_[new_id] = old_id;
+    if (migrated.Contains(old_id)) continue;
+    migrated.Insert(old_id);
+    stats->AddRelocation(old_id, new_id);
+    RecordReverseRelocation(new_id, old_id);
     tr.parents.ReplaceParentEverywhere(old_id, new_id);
     tr.parents.Erase(old_id);
   }
@@ -129,11 +323,9 @@ Status IraReorganizer::Resume(const ReorgCheckpoint& checkpoint,
   std::vector<ObjectId> objects;
   objects.reserve(tr.traversed.size());
   for (ObjectId oid : tr.traversed) {
-    if (migrated.count(oid) == 0) objects.push_back(oid);
+    if (!migrated.Contains(oid)) objects.push_back(oid);
   }
   planner->Order(&objects);
-  group_txn_.reset();
-  in_group_ = 0;
   Status result = MigrateAllAndFinish(p, planner, options, tr.traversed,
                                       std::move(objects), &migrated,
                                       &tr.parents, stats);
@@ -146,46 +338,20 @@ Status IraReorganizer::Resume(const ReorgCheckpoint& checkpoint,
 Status IraReorganizer::MigrateAllAndFinish(
     PartitionId p, RelocationPlanner* planner, const IraOptions& options,
     const std::unordered_set<ObjectId>& traversed,
-    std::vector<ObjectId> objects, std::unordered_set<ObjectId>* migrated,
-    ParentLists* plists, ReorgStats* stats) {
-  Status result = Status::Ok();
-  for (ObjectId oid : objects) {
-    stats->trt_peak_size =
-        std::max<uint64_t>(stats->trt_peak_size, ctx_.trt->Size());
-    if (!ctx_.store->Validate(oid)) continue;  // defensive: already gone
-    Status s = options.two_lock_mode
-                   ? MigrateTwoLock(oid, p, planner, options, migrated,
-                                    plists, stats)
-                   : MigrateBasic(oid, p, planner, options, migrated, plists,
-                                  stats);
-    if (!s.ok()) {
-      result = s;
-      break;
-    }
-    MaybeCheckpoint(p, options, traversed, *plists, *stats);
-  }
+    std::vector<ObjectId> objects, MigratedSet* migrated, ParentLists* plists,
+    ReorgStats* stats) {
+  Status result =
+      options.num_workers > 1
+          ? MigrateParallel(p, planner, options, traversed, objects, migrated,
+                            plists, stats)
+          : MigrateSequential(p, planner, options, traversed, objects,
+                              migrated, plists, stats);
   if (result.IsCrashed()) {
     // Simulated crash: a dead process commits nothing, releases nothing,
-    // and never reaches the GC sweep. Abandon the open group so quiesce
-    // barriers do not wait on a ghost; restart recovery owns the cleanup.
-    if (group_txn_ != nullptr) {
-      group_txn_->Abandon();
-      group_txn_.reset();
-    }
+    // and never reaches the GC sweep. Groups were abandoned on the way
+    // out so quiesce barriers do not wait on a ghost; restart recovery
+    // owns the cleanup.
     return result;
-  }
-  if (group_txn_ != nullptr) {
-    // Degraded / retry-exhausted / error exits commit the open group: it
-    // only ever holds whole completed migrations, so committing keeps the
-    // finished work durable and releases the reorganizer's locks.
-    Status cs = group_txn_->Commit();
-    if (cs.IsCrashed()) {
-      group_txn_->Abandon();
-      group_txn_.reset();
-      return cs;
-    }
-    group_txn_.reset();
-    if (result.ok() && !cs.ok()) result = cs;
   }
 
   if (result.IsDegraded()) {
@@ -208,24 +374,217 @@ Status IraReorganizer::MigrateAllAndFinish(
   return result;
 }
 
-void IraReorganizer::BackoffSleep(uint32_t attempt, const IraOptions& options,
-                                  ReorgStats* stats) {
-  if (options.backoff_initial.count() <= 0) return;
+Status IraReorganizer::MigrateSequential(
+    PartitionId p, RelocationPlanner* planner, const IraOptions& options,
+    const std::unordered_set<ObjectId>& traversed,
+    const std::vector<ObjectId>& objects, MigratedSet* migrated,
+    ParentLists* plists, ReorgStats* stats) {
+  MigratorState ws;
+  Status result = Status::Ok();
+  for (ObjectId oid : objects) {
+    AtomicMax(&stats->trt_peak_size, ctx_.trt->Size());
+    if (!ctx_.store->Validate(oid)) continue;  // defensive: already gone
+    Status s = options.two_lock_mode
+                   ? MigrateTwoLock(oid, p, planner, options,
+                                    /*defer_on_conflict=*/false, migrated,
+                                    plists, stats)
+                   : MigrateBasic(oid, p, planner, options, &ws,
+                                  /*defer_on_conflict=*/false, migrated,
+                                  plists, stats);
+    if (!s.ok()) {
+      result = s;
+      break;
+    }
+    MaybeCheckpoint(p, options, traversed, *plists, *stats, /*force=*/false,
+                    &ws);
+  }
+  // Degraded / retry-exhausted / error exits commit the open group: it
+  // only ever holds whole completed migrations, so committing keeps the
+  // finished work durable and releases the reorganizer's locks. A
+  // simulated crash abandons it instead.
+  return CloseGroup(&ws, result);
+}
+
+Status IraReorganizer::MigrateParallel(
+    PartitionId p, RelocationPlanner* planner, const IraOptions& options,
+    const std::unordered_set<ObjectId>& traversed,
+    const std::vector<ObjectId>& objects, MigratedSet* migrated,
+    ParentLists* plists, ReorgStats* stats) {
+  MigrationPipe pipe(
+      objects, options.num_workers,
+      options.checkpoint_sink != nullptr ? options.checkpoint_every : 0);
+  std::vector<std::thread> workers;
+  workers.reserve(options.num_workers);
+  for (uint32_t i = 0; i < options.num_workers; ++i) {
+    workers.emplace_back([&] {
+      WorkerMain(&pipe, p, planner, options, traversed, migrated, plists,
+                 stats);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  return pipe.result();
+}
+
+void IraReorganizer::WorkerMain(MigrationPipe* pipe, PartitionId p,
+                                RelocationPlanner* planner,
+                                const IraOptions& options,
+                                const std::unordered_set<ObjectId>& traversed,
+                                MigratedSet* migrated, ParentLists* plists,
+                                ReorgStats* stats) {
+  MigratorState ws;
+  for (;;) {
+    MigrationPipe::Item item;
+    const MigrationPipe::Next next = pipe->Pop(&item);
+    if (next == MigrationPipe::Next::kDrained ||
+        next == MigrationPipe::Next::kStopped) {
+      break;
+    }
+    if (next == MigrationPipe::Next::kBarrier) {
+      // Commit the open group first so the checkpoint only ever covers
+      // committed migrations, then rendezvous with the other workers.
+      Status cs = CloseGroup(&ws, Status::Ok());
+      if (!cs.ok()) {
+        pipe->Stop(cs);
+        continue;  // next Pop returns kStopped
+      }
+      if (pipe->ArriveBarrier()) {
+        if (!pipe->stopped()) {
+          MaybeCheckpoint(p, options, traversed, *plists, *stats,
+                          /*force=*/true);
+        }
+        pipe->BarrierCut(stats->objects_migrated + options.checkpoint_every);
+      }
+      continue;
+    }
+    AtomicMax(&stats->trt_peak_size, ctx_.trt->Size());
+    if (!ctx_.store->Validate(item.oid)) {
+      pipe->Done();
+      continue;
+    }
+    Status s = options.two_lock_mode
+                   ? MigrateTwoLock(item.oid, p, planner, options,
+                                    /*defer_on_conflict=*/true, migrated,
+                                    plists, stats)
+                   : MigrateBasic(item.oid, p, planner, options, &ws,
+                                  /*defer_on_conflict=*/true, migrated,
+                                  plists, stats);
+    if (s.IsBusy()) {
+      // Footprint overlap with a sibling's in-flight migration. No lock
+      // wait was burned and no lock is held for this object — requeue it
+      // with a short constant delay (no retry charge: deferral is flow
+      // control, not contention) and move on to a disjoint item.
+      pipe->Requeue(item.oid, item.attempt, std::chrono::milliseconds(1));
+      continue;
+    }
+    if (s.IsTimedOut()) {
+      // Lost a lock race — to a sibling worker or a user transaction.
+      // Commit the open group so this worker retains no locks while the
+      // object waits out its backoff, then requeue it.
+      Status cs = CloseGroup(&ws, Status::Ok());
+      if (!cs.ok()) {
+        pipe->Stop(cs);
+        pipe->Done();
+        continue;
+      }
+      if (BudgetExhausted(options, *stats)) {
+        pipe->Stop(Status::Degraded("contention budget exhausted at " +
+                                    item.oid.ToString()));
+        pipe->Done();
+        continue;
+      }
+      if (item.attempt + 1 >= options.max_retries_per_object) {
+        pipe->Stop(Status::RetryExhausted(
+            "gave up migrating " + item.oid.ToString() + " after " +
+            std::to_string(options.max_retries_per_object) + " retries"));
+        pipe->Done();
+        continue;
+      }
+      const std::chrono::milliseconds delay =
+          BackoffDelay(item.attempt, options);
+      if (delay.count() > 0) {
+        ++stats->backoff_sleeps;
+        stats->backoff_total_ms += static_cast<uint64_t>(delay.count());
+      }
+      pipe->Requeue(item.oid, item.attempt + 1, delay);
+      continue;
+    }
+    if (!s.ok()) {
+      pipe->Stop(s);
+      pipe->Done();
+      continue;
+    }
+    pipe->Done();
+    if (options.checkpoint_sink != nullptr && options.checkpoint_every > 0 &&
+        pipe->CheckpointDue(stats->objects_migrated)) {
+      pipe->RequestCheckpoint();
+    }
+  }
+  // Same exit semantics as the sequential loop: a crashed pipeline
+  // abandons open groups (a dead process commits nothing); any other
+  // exit commits them to keep finished migrations durable.
+  if (pipe->result().IsCrashed()) {
+    if (ws.group_txn != nullptr) {
+      ws.group_txn->Abandon();
+      ws.group_txn.reset();
+    }
+  } else {
+    Status cs = CloseGroup(&ws, Status::Ok());
+    if (!cs.ok()) pipe->Stop(cs);
+  }
+  pipe->WorkerExit();
+}
+
+Status IraReorganizer::CloseGroup(MigratorState* ws, Status result) {
+  if (result.IsCrashed()) {
+    if (ws->group_txn != nullptr) {
+      ws->group_txn->Abandon();
+      ws->group_txn.reset();
+    }
+    ws->in_group = 0;
+    return result;
+  }
+  if (ws->group_txn != nullptr) {
+    Status cs = ws->group_txn->Commit();
+    if (cs.IsCrashed()) {
+      ws->group_txn->Abandon();
+      ws->group_txn.reset();
+      ws->in_group = 0;
+      return cs;
+    }
+    ws->group_txn.reset();
+    if (result.ok() && !cs.ok()) result = cs;
+  }
+  ws->in_group = 0;
+  return result;
+}
+
+std::chrono::milliseconds IraReorganizer::BackoffDelay(
+    uint32_t attempt, const IraOptions& options) {
+  if (options.backoff_initial.count() <= 0) {
+    return std::chrono::milliseconds(0);
+  }
   // Deterministic (no jitter) so fault schedules replay identically.
   uint64_t ms = static_cast<uint64_t>(options.backoff_initial.count());
-  const uint64_t cap = static_cast<uint64_t>(
-      std::max<int64_t>(options.backoff_max.count(), 1));
+  const uint64_t cap =
+      static_cast<uint64_t>(std::max<int64_t>(options.backoff_max.count(), 1));
   for (uint32_t i = 0; i < attempt && ms < cap; ++i) ms <<= 1;
   ms = std::min(ms, cap);
+  return std::chrono::milliseconds(ms);
+}
+
+void IraReorganizer::BackoffSleep(uint32_t attempt, const IraOptions& options,
+                                  ReorgStats* stats) {
+  const std::chrono::milliseconds delay = BackoffDelay(attempt, options);
+  if (delay.count() <= 0) return;
   ++stats->backoff_sleeps;
-  stats->backoff_total_ms += ms;
-  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  stats->backoff_total_ms += static_cast<uint64_t>(delay.count());
+  std::this_thread::sleep_for(delay);
 }
 
 void IraReorganizer::MaybeCheckpoint(
     PartitionId p, const IraOptions& options,
     const std::unordered_set<ObjectId>& traversed, const ParentLists& plists,
-    const ReorgStats& stats, bool force) {
+    const ReorgStats& stats, bool force, const MigratorState* ws) {
   if (options.checkpoint_sink == nullptr) return;
   if (!force) {
     if (options.checkpoint_every == 0) return;
@@ -233,16 +592,22 @@ void IraReorganizer::MaybeCheckpoint(
     // Checkpointed state must only cover *committed* migrations: with
     // grouping, the open group transaction's moves would be lost by a
     // crash, so checkpoint only at group boundaries. (A forced checkpoint
-    // is only taken after the group has been committed.)
-    if (group_txn_ != nullptr && in_group_ != 0) return;
+    // is only taken after every open group has been committed — on the
+    // parallel path, at the barrier.)
+    if (ws != nullptr && ws->group_txn != nullptr && ws->in_group != 0) return;
   }
   ReorgCheckpoint* ckpt = options.checkpoint_sink;
   ckpt->partition = p;
   ckpt->lsn = ctx_.log->last_lsn();
   ckpt->traversed = traversed;
   ckpt->parents = plists.Flatten();
-  ckpt->relocation = stats.relocation;
+  ckpt->relocation = stats.RelocationSnapshot();
   ckpt->valid = true;
+}
+
+void IraReorganizer::RecordReverseRelocation(ObjectId onew, ObjectId oold) {
+  std::lock_guard<std::mutex> g(reloc_mu_);
+  reverse_relocation_[onew] = oold;
 }
 
 void IraReorganizer::WaitForHistoricalLockers(ObjectId oid, Transaction* txn) {
@@ -253,10 +618,48 @@ void IraReorganizer::WaitForHistoricalLockers(ObjectId oid, Transaction* txn) {
     for (TxnId t : ctx_.locks->HistoricalHolders(oid, txn->id())) {
       ctx_.txns->WaitForTxn(t);
     }
-    auto it = reverse_relocation_.find(oid);
-    if (it == reverse_relocation_.end()) break;
-    oid = it->second;
+    bool has_prev = false;
+    ObjectId prev;
+    {
+      std::lock_guard<std::mutex> g(reloc_mu_);
+      auto it = reverse_relocation_.find(oid);
+      if (it != reverse_relocation_.end()) {
+        prev = it->second;
+        has_prev = true;
+      }
+    }
+    if (!has_prev) break;
+    oid = prev;
   }
+}
+
+bool IraReorganizer::TryClaimFootprint(ObjectId oid,
+                                       const std::vector<ObjectId>& parents) {
+  std::lock_guard<std::mutex> g(claims_mu_);
+  for (const auto& [anchor, footprint] : claims_) {
+    (void)anchor;
+    // Conflict when the footprints intersect at all. The traversal feeds
+    // workers cluster-ordered objects, so adjacent queue items are
+    // siblings sharing a tree parent: letting both proceed would make
+    // them serialize on (or deadlock over) the shared parent's lock for
+    // a full migration apiece. Deferring the overlap up front costs a
+    // map probe; the deferring worker skips ahead to a disjoint subtree.
+    // Disjoint footprints also make worker-worker deadlock structurally
+    // impossible — no two in-flight migrations ever want the same lock.
+    if (footprint.count(oid) > 0) return false;
+    for (ObjectId r : parents) {
+      if (footprint.count(r) > 0) return false;
+    }
+  }
+  auto& fp = claims_[oid];
+  fp.insert(oid);
+  fp.insert(parents.begin(), parents.end());
+  return true;
+}
+
+void IraReorganizer::ReleaseFootprint(ObjectId oid) {
+  std::lock_guard<std::mutex> g(claims_mu_);
+  claims_.erase(oid);
 }
 
 Status IraReorganizer::FindExactParents(ObjectId oid, Transaction* txn,
@@ -290,41 +693,65 @@ Status IraReorganizer::FindExactParents(ObjectId oid, Transaction* txn,
     }
   };
 
-  // S1: lock the approximate parents, prune those that no longer hold a
-  // reference (it was deleted after the fuzzy traversal saw them).
-  for (ObjectId r : plists->Get(oid)) {
-    if (r == oid) continue;
-    Status s = lock_parent(r);
-    if (!s.ok()) return s;
-    if (!IsParentOf(ctx_.store, r, oid)) {
-      plists->RemoveParent(oid, r);
-      unlock_here(r);
-    }
-  }
-
-  // S2: drain TRT tuples naming oid as the referenced object. Each round
-  // syncs the analyzer so a tuple logged by a completed transaction
-  // cannot be missed (Lemma 3.2, case 2), then processes the whole batch
-  // of tuples present — one-at-a-time draining could be outpaced by new
-  // insertions on hot objects.
   for (;;) {
-    ctx_.analyzer->Sync();
-    std::vector<TrtTuple> batch = ctx_.trt->TuplesFor(oid);
-    if (batch.empty()) break;
-    for (const TrtTuple& t : batch) {
-      ObjectId r = ResolveRelocated(*ctx_.store, *stats, t.parent);
-      if (r != oid) {
-        Status s = lock_parent(r);
-        if (!s.ok()) return s;  // tuple stays; retry will reprocess it
-      }
-      ctx_.trt->EraseTuple(t);
-      ++stats->trt_tuples_drained;
-      if (r != oid && IsParentOf(ctx_.store, r, oid)) {
-        plists->AddParent(oid, r);  // persists across retries
-      } else if (r != oid && !plists->Contains(oid, r)) {
+    // S1: lock the approximate parents, prune those that no longer hold a
+    // reference (it was deleted after the fuzzy traversal saw them).
+    // Locks are taken in ascending object order: cluster siblings share
+    // parents (tree parent + glue), so two workers locking overlapping
+    // parent sets in per-object hash order would deadlock against each
+    // other and burn a full lock timeout apiece. A global acquisition
+    // order makes worker-worker parent cycles impossible.
+    std::vector<ObjectId> approx = plists->Get(oid);
+    std::sort(approx.begin(), approx.end());
+    for (ObjectId r : approx) {
+      if (r == oid || txn->Holds(r)) continue;
+      Status s = lock_parent(r);
+      if (!s.ok()) return s;
+      if (!IsParentOf(ctx_.store, r, oid)) {
+        plists->RemoveParent(oid, r);
         unlock_here(r);
       }
     }
+
+    // S2: drain TRT tuples naming oid as the referenced object. Each
+    // round syncs the analyzer so a tuple logged by a completed
+    // transaction cannot be missed (Lemma 3.2, case 2), then processes
+    // the whole batch of tuples present — one-at-a-time draining could be
+    // outpaced by new insertions on hot objects.
+    for (;;) {
+      ctx_.analyzer->Sync();
+      std::vector<TrtTuple> batch = ctx_.trt->TuplesFor(oid);
+      if (batch.empty()) break;
+      for (const TrtTuple& t : batch) {
+        ObjectId r = ResolveRelocated(*ctx_.store, *stats, t.parent);
+        if (r != oid) {
+          Status s = lock_parent(r);
+          if (!s.ok()) return s;  // tuple stays; retry will reprocess it
+        }
+        ctx_.trt->EraseTuple(t);
+        ++stats->trt_tuples_drained;
+        if (r != oid && IsParentOf(ctx_.store, r, oid)) {
+          plists->AddParent(oid, r);  // persists across retries
+        } else if (r != oid && !plists->Contains(oid, r)) {
+          unlock_here(r);
+        }
+      }
+    }
+
+    // Parallel stability check: while this worker was locking, a sibling
+    // migrating one of oid's parents P replaced P by P_new in oid's list
+    // (FinishMigration's child fix-up). The set is exact only once every
+    // listed parent is held — at that point all of them are pinned, so no
+    // concurrent migration can change the list anymore. Sequential runs
+    // pass on the first iteration.
+    bool stable = true;
+    for (ObjectId r : plists->Get(oid)) {
+      if (r != oid && !txn->Holds(r)) {
+        stable = false;
+        break;
+      }
+    }
+    if (stable) break;
   }
   return Status::Ok();
 }
@@ -332,23 +759,59 @@ Status IraReorganizer::FindExactParents(ObjectId oid, Transaction* txn,
 Status IraReorganizer::MigrateBasic(ObjectId oid, PartitionId p,
                                     RelocationPlanner* planner,
                                     const IraOptions& options,
-                                    std::unordered_set<ObjectId>* migrated,
-                                    ParentLists* plists, ReorgStats* stats) {
+                                    MigratorState* ws, bool defer_on_conflict,
+                                    MigratedSet* migrated, ParentLists* plists,
+                                    ReorgStats* stats) {
+  bool claimed = false;
+  auto release_claim = MakeCleanup([&] {
+    if (claimed) ReleaseFootprint(oid);
+  });
+  if (defer_on_conflict) {
+    if (!TryClaimFootprint(oid, plists->Get(oid))) {
+      ++stats->claim_deferrals;
+      return Status::Busy("deferred: conflicting migration footprint at " +
+                          oid.ToString());
+    }
+    claimed = true;
+  }
   for (uint32_t attempt = 0; attempt < options.max_retries_per_object;
        ++attempt) {
-    if (group_txn_ == nullptr) {
-      group_txn_ = ctx_.txns->Begin(LogSource::kReorg);
-      in_group_ = 0;
+    if (ws->group_txn == nullptr) {
+      ws->group_txn = ctx_.txns->Begin(LogSource::kReorg);
+      ws->in_group = 0;
     }
-    Transaction* txn = group_txn_.get();
+    Transaction* txn = ws->group_txn.get();
     std::vector<ObjectId> newly_locked;
-    Status s = FindExactParents(oid, txn, options, plists, &newly_locked,
-                                stats);
+    Status s = Status::Ok();
+    if (defer_on_conflict && !txn->Holds(oid)) {
+      // With sibling workers, basic mode must own-lock the object being
+      // migrated: FreeObject is lock-free for reorg transactions, and a
+      // sibling holding oid as a *parent* could otherwise rewrite its
+      // slots between this worker's content copy and the free.
+      s = txn->LockWithTimeout(oid, LockMode::kExclusive,
+                               options.lock_timeout);
+      if (s.ok()) {
+        newly_locked.push_back(oid);
+        if (options.wait_for_historical_lockers) {
+          WaitForHistoricalLockers(oid, txn);
+        }
+      } else if (s.IsTimedOut()) {
+        ++stats->lock_timeouts;
+      }
+    }
+    if (s.ok()) {
+      s = FindExactParents(oid, txn, options, plists, &newly_locked, stats);
+    }
     if (s.IsTimedOut()) {
       // Release only this object's locks and re-run Find_Exact_Parents
       // (the paper: it must be reinvoked if it fails due to a deadlock).
       for (ObjectId l : newly_locked) txn->Unlock(l);
       ++stats->find_exact_retries;
+      if (defer_on_conflict) {
+        // Parallel pipeline: the caller requeues the object with backoff
+        // (and owns the budget / retry-exhaustion checks).
+        return s;
+      }
       if (BudgetExhausted(options, *stats)) {
         // Clean point: no locks held for this object; the group only
         // holds whole completed migrations.
@@ -370,24 +833,25 @@ Status IraReorganizer::MigrateBasic(ObjectId oid, PartitionId p,
                                 migrated, plists, stats, &onew);
     if (!s.ok()) {
       if (s.IsCrashed()) {
-        group_txn_->Abandon();
+        ws->group_txn->Abandon();
       } else {
-        group_txn_->Abort();
+        ws->group_txn->Abort();
       }
-      group_txn_.reset();
+      ws->group_txn.reset();
+      ws->in_group = 0;
       return s;
     }
-    migrated->insert(oid);
-    reverse_relocation_[onew] = oid;
-    stats->max_distinct_objects_locked = std::max<uint64_t>(
-        stats->max_distinct_objects_locked, txn->num_locks_held());
-    if (++in_group_ >= options.group_size) {
+    migrated->Insert(oid);
+    RecordReverseRelocation(onew, oid);
+    AtomicMax(&stats->max_distinct_objects_locked, txn->num_locks_held());
+    if (++ws->in_group >= options.group_size) {
       // Crash here: the whole group's migrations are in the (unflushed)
       // log without a commit record — recovery rolls them all back.
       BRAHMA_FAILPOINT("ira:basic:before-commit");
-      Status cs = group_txn_->Commit();
-      if (cs.IsCrashed()) group_txn_->Abandon();
-      group_txn_.reset();
+      Status cs = ws->group_txn->Commit();
+      if (cs.IsCrashed()) ws->group_txn->Abandon();
+      ws->group_txn.reset();
+      ws->in_group = 0;
       if (!cs.ok()) return cs;
     }
     return Status::Ok();
@@ -400,8 +864,25 @@ Status IraReorganizer::MigrateBasic(ObjectId oid, PartitionId p,
 Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
                                       RelocationPlanner* planner,
                                       const IraOptions& options,
-                                      std::unordered_set<ObjectId>* migrated,
+                                      bool defer_on_conflict,
+                                      MigratedSet* migrated,
                                       ParentLists* plists, ReorgStats* stats) {
+  bool claimed = false;
+  auto release_claim = MakeCleanup([&] {
+    if (claimed) ReleaseFootprint(oid);
+  });
+  if (defer_on_conflict) {
+    // Claim before taking any lock: anchor locks are held to completion,
+    // so overlapping in-flight migrations could wait on each other
+    // forever (or at best serialize on a shared parent). A footprint
+    // conflict defers instantly instead of burning a lock wait.
+    if (!TryClaimFootprint(oid, plists->Get(oid))) {
+      ++stats->claim_deferrals;
+      return Status::Busy("deferred: conflicting migration footprint at " +
+                          oid.ToString());
+    }
+    claimed = true;
+  }
   // Anchor transaction: lock the object being migrated, in both the old
   // and (once created) the new location, for the whole migration.
   std::unique_ptr<Transaction> anchor;
@@ -419,6 +900,11 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
     }
     ++stats->lock_timeouts;
     anchor->Abort();
+    if (defer_on_conflict) {
+      // Parallel pipeline: requeue with backoff instead of spinning here
+      // (the caller owns the budget / retry-exhaustion checks).
+      return s;
+    }
     if (BudgetExhausted(options, *stats)) {
       // The only degradation point in two-lock mode: nothing has happened
       // for this object yet, so stopping here leaves no dual-copy state.
@@ -524,6 +1010,13 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
   auto process_parent = [&](ObjectId r) -> Status {
     for (uint32_t attempt = 0; attempt < options.max_retries_per_object;
          ++attempt) {
+      // A sibling worker may migrate this parent at any point before we
+      // hold its lock — chase the relocation each attempt so the rewrite
+      // lands on the live copy (the sibling's O_new carries the copied
+      // reference to oid; rewriting the freed O_old would silently miss
+      // it and leave a dangling edge once oid is freed).
+      r = ResolveRelocated(*ctx_.store, *stats, r);
+      if (r == oid || r == onew) return Status::Ok();
       if (ptxn == nullptr) ptxn = ctx_.txns->Begin(LogSource::kReorg);
       Status s = ptxn->LockWithTimeout(r, LockMode::kExclusive,
                                        options.lock_timeout);
@@ -539,6 +1032,17 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
         if (!cs.ok()) return cs;
         if (attempt + 1 < options.max_retries_per_object) {
           BackoffSleep(attempt, options, stats);
+        }
+        continue;
+      }
+      if (!ctx_.store->Validate(r)) {
+        // Freed between the resolve and the lock grant. If it migrated,
+        // the relocation map now names the live copy (published before
+        // the free); retry resolves and rewrites it. If it is genuinely
+        // gone it references nothing — no edge left to rewrite.
+        ptxn->Unlock(r);
+        if (ResolveRelocated(*ctx_.store, *stats, r) == r) {
+          return Status::Ok();
         }
         continue;
       }
@@ -559,9 +1063,8 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
         return s;
       }
       plists->RemoveParent(oid, r);
-      stats->max_distinct_objects_locked = std::max<uint64_t>(
-          stats->max_distinct_objects_locked,
-          1 /* O_old + O_new */ + ptxn->num_locks_held());
+      AtomicMax(&stats->max_distinct_objects_locked,
+                1 /* O_old + O_new */ + ptxn->num_locks_held());
       if (++in_group >= options.group_size) {
         Status cs = commit_group();
         if (!cs.ok()) return cs;
@@ -634,8 +1137,8 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
     return s;
   }
   if (!s.ok()) return bail(s);
-  migrated->insert(oid);
-  reverse_relocation_[onew] = oid;
+  migrated->Insert(oid);
+  RecordReverseRelocation(onew, oid);
   return Status::Ok();
 }
 
@@ -646,7 +1149,7 @@ Status IraReorganizer::SweepGarbage(
   // created by this reorganization (a same-partition migration target) is
   // unreachable: reclaim it.
   std::unordered_set<ObjectId> keep;
-  for (const auto& [from, to] : stats_so_far.relocation) {
+  for (const auto& [from, to] : stats_so_far.RelocationSnapshot()) {
     (void)from;
     if (to.partition() == p) keep.insert(to);
   }

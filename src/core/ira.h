@@ -4,6 +4,10 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "common/params.h"
 #include "common/status.h"
@@ -11,6 +15,8 @@
 #include "core/reorg_checkpoint.h"
 
 namespace brahma {
+
+class MigrationPipe;
 
 // Knobs for the Incremental Reorganization Algorithm.
 struct IraOptions {
@@ -57,7 +63,8 @@ struct IraOptions {
   // Run/Resume return Status::Degraded. Completed migrations stay
   // durable; a later Resume from the checkpoint finishes the job when
   // contention subsides. 0 = unlimited (retry until
-  // max_retries_per_object per object).
+  // max_retries_per_object per object). With num_workers > 1 the budget
+  // aggregates timeouts across all workers.
   uint64_t contention_budget = 0;
 
   // Section 4.4: checkpoint the reorganization state (Traversed_Objects,
@@ -66,6 +73,16 @@ struct IraOptions {
   // traversal to be redone. 0 disables.
   ReorgCheckpoint* checkpoint_sink = nullptr;
   uint32_t checkpoint_every = 0;
+
+  // Parallel migration pipeline: number of migrator worker threads fed
+  // from a shared work queue over the planner's order. 1 (default) runs
+  // the classic sequential loop. With N > 1, each worker drives its own
+  // reorg transaction through the same MigrateBasic / MigrateTwoLock
+  // paths; a worker losing a lock race to a sibling defers — it requeues
+  // the object with exponential backoff instead of blocking the pipeline.
+  // Checkpoints are taken at a barrier so they snapshot a consistent
+  // prefix (no worker is mid-group while the snapshot is cut).
+  uint32_t num_workers = 1;
 };
 
 // The Incremental Reorganization Algorithm (paper Section 3): migrates
@@ -93,24 +110,69 @@ class IraReorganizer {
                 const IraOptions& options, ReorgStats* stats);
 
  private:
+  friend class MigrationPipe;
+
+  // Per-worker migration state: the open Section 4.3 group transaction.
+  // The sequential path uses a single instance; the parallel pipeline
+  // gives each worker its own.
+  struct MigratorState {
+    std::unique_ptr<Transaction> group_txn;
+    uint32_t in_group = 0;
+  };
+
   // Shared second step: migrate `objects` (skipping already-migrated /
   // freed ones), then optionally sweep garbage and disable the TRT.
   Status MigrateAllAndFinish(PartitionId p, RelocationPlanner* planner,
                              const IraOptions& options,
                              const std::unordered_set<ObjectId>& traversed,
                              std::vector<ObjectId> objects,
-                             std::unordered_set<ObjectId>* migrated,
-                             ParentLists* plists, ReorgStats* stats);
+                             MigratedSet* migrated, ParentLists* plists,
+                             ReorgStats* stats);
+
+  // Sequential migration loop (num_workers <= 1): today's behavior.
+  Status MigrateSequential(PartitionId p, RelocationPlanner* planner,
+                           const IraOptions& options,
+                           const std::unordered_set<ObjectId>& traversed,
+                           const std::vector<ObjectId>& objects,
+                           MigratedSet* migrated, ParentLists* plists,
+                           ReorgStats* stats);
+
+  // Parallel migration pipeline (num_workers > 1): a work-stealing queue
+  // over the planner's order feeds N migrator workers. Returns the first
+  // non-ok status any worker hit (crash wins over everything else).
+  Status MigrateParallel(PartitionId p, RelocationPlanner* planner,
+                         const IraOptions& options,
+                         const std::unordered_set<ObjectId>& traversed,
+                         const std::vector<ObjectId>& objects,
+                         MigratedSet* migrated, ParentLists* plists,
+                         ReorgStats* stats);
+
+  // One migrator worker: pops objects from the pipe, migrates them via
+  // MigrateBasic / MigrateTwoLock with defer-on-conflict, requeues losers
+  // with backoff, and participates in checkpoint barriers.
+  void WorkerMain(MigrationPipe* pipe, PartitionId p,
+                  RelocationPlanner* planner, const IraOptions& options,
+                  const std::unordered_set<ObjectId>& traversed,
+                  MigratedSet* migrated, ParentLists* plists,
+                  ReorgStats* stats);
+
+  // Commits (or abandons, after a simulated crash) ws's open group and
+  // folds the commit status into `result`.
+  static Status CloseGroup(MigratorState* ws, Status result);
 
   void MaybeCheckpoint(PartitionId p, const IraOptions& options,
                        const std::unordered_set<ObjectId>& traversed,
                        const ParentLists& plists, const ReorgStats& stats,
-                       bool force = false);
+                       bool force = false, const MigratorState* ws = nullptr);
 
   // Sleeps the exponential-backoff delay for the given retry attempt and
   // accounts for it in stats. No-op when backoff is disabled.
   void BackoffSleep(uint32_t attempt, const IraOptions& options,
                     ReorgStats* stats);
+
+  // The backoff delay BackoffSleep would sleep for the given attempt.
+  static std::chrono::milliseconds BackoffDelay(uint32_t attempt,
+                                                const IraOptions& options);
 
   // True once stats->lock_timeouts has consumed options.contention_budget.
   static bool BudgetExhausted(const IraOptions& options,
@@ -126,15 +188,31 @@ class IraReorganizer {
                           std::vector<ObjectId>* newly_locked,
                           ReorgStats* stats);
 
+  // defer_on_conflict (parallel pipeline): a lock timeout returns
+  // Status::TimedOut immediately — with every lock taken for this object
+  // released and the open group committed — instead of retrying
+  // internally, so the caller can requeue the object with backoff.
   Status MigrateBasic(ObjectId oid, PartitionId p, RelocationPlanner* planner,
-                      const IraOptions& options,
-                      std::unordered_set<ObjectId>* migrated,
+                      const IraOptions& options, MigratorState* ws,
+                      bool defer_on_conflict, MigratedSet* migrated,
                       ParentLists* plists, ReorgStats* stats);
 
   Status MigrateTwoLock(ObjectId oid, PartitionId p,
                         RelocationPlanner* planner, const IraOptions& options,
-                        std::unordered_set<ObjectId>* migrated,
+                        bool defer_on_conflict, MigratedSet* migrated,
                         ParentLists* plists, ReorgStats* stats);
+
+  // Parallel deadlock/livelock avoidance: a migration claims its anchor
+  // and its initial parent snapshot before taking any lock; two claims
+  // conflict iff their footprints intersect. Disjoint footprints mean no
+  // two in-flight migrations ever wait on each other's locks — no
+  // worker-worker deadlock, and cluster siblings (which share a tree
+  // parent, and are adjacent in the traversal-ordered queue) defer
+  // instead of serializing on the shared parent for a full migration
+  // apiece. The loser returns Busy without claiming; the pipeline
+  // requeues it with a short constant delay and no retry charge.
+  bool TryClaimFootprint(ObjectId oid, const std::vector<ObjectId>& parents);
+  void ReleaseFootprint(ObjectId oid);
 
   Status SweepGarbage(PartitionId p,
                       const std::unordered_set<ObjectId>& traversed,
@@ -142,14 +220,18 @@ class IraReorganizer {
 
   void WaitForHistoricalLockers(ObjectId oid, Transaction* txn);
 
+  void RecordReverseRelocation(ObjectId onew, ObjectId oold);
+
   ReorgContext ctx_;
-  // Open migration-group transaction (Section 4.3 grouping, basic mode).
-  std::unique_ptr<Transaction> group_txn_;
-  uint32_t in_group_ = 0;
   // O_new -> O_old for this run. A transaction that copied a reference
   // out of an object before it migrated appears only in the lock history
   // of the old identity; Section 4.1 waits must chase pre-images.
+  // Guarded by reloc_mu_ (N workers record and chase concurrently).
+  std::mutex reloc_mu_;
   std::unordered_map<ObjectId, ObjectId> reverse_relocation_;
+  // Active two-lock footprint claims: anchor -> {anchor} ∪ parents.
+  std::mutex claims_mu_;
+  std::unordered_map<ObjectId, std::unordered_set<ObjectId>> claims_;
 };
 
 }  // namespace brahma

@@ -24,6 +24,10 @@ void LogAnalyzer::Stop() {
   }
   if (running_.exchange(false) && thread_.joinable()) {
     thread_.join();
+    // The tailer sleeps between passes, so records appended after its
+    // last pass would otherwise never reach the ERT/TRT. Drain the tail
+    // so Stop leaves the tables reflecting the whole log.
+    ProcessUpTo(log_->last_lsn());
   }
 }
 

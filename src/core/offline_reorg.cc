@@ -20,7 +20,7 @@ Status OfflineReorganizer::Run(PartitionId p, RelocationPlanner* planner,
   planner->Order(&objects);
 
   std::unique_ptr<Transaction> txn = ctx_.txns->Begin(LogSource::kReorg);
-  std::unordered_set<ObjectId> migrated;
+  MigratedSet migrated;
   Status result = Status::Ok();
   for (ObjectId oid : objects) {
     if (!ctx_.store->Validate(oid)) continue;
@@ -38,7 +38,7 @@ Status OfflineReorganizer::Run(PartitionId p, RelocationPlanner* planner,
     result = MoveObjectAndUpdateRefs(ctx_, txn.get(), oid, planner, parents, p,
                                      &migrated, &plists, stats, &onew);
     if (!result.ok()) break;
-    migrated.insert(oid);
+    migrated.Insert(oid);
   }
   if (result.ok()) {
     txn->Commit();

@@ -59,7 +59,7 @@ Status PqrReorganizer::Run(PartitionId p, RelocationPlanner* planner,
   std::vector<ObjectId> objects(tr.traversed.begin(), tr.traversed.end());
   planner->Order(&objects);
 
-  std::unordered_set<ObjectId> migrated;
+  MigratedSet migrated;
   Status result = Status::Ok();
   for (ObjectId oid : objects) {
     if (!ctx_.store->Validate(oid)) continue;
@@ -81,7 +81,7 @@ Status PqrReorganizer::Run(PartitionId p, RelocationPlanner* planner,
     result = MoveObjectAndUpdateRefs(ctx_, txn.get(), oid, planner, parents, p,
                                      &migrated, &plists, stats, &onew);
     if (!result.ok()) break;
-    migrated.insert(oid);
+    migrated.Insert(oid);
   }
 
   if (result.ok()) {

@@ -96,8 +96,8 @@ Status FinishMigration(const ReorgContext& ctx, Transaction* txn,
                        ObjectId oid, ObjectId onew,
                        const std::vector<ObjectId>& refs_of_old,
                        PartitionId reorg_partition,
-                       const std::unordered_set<ObjectId>* migrated,
-                       ParentLists* plists, ReorgStats* stats) {
+                       const MigratedSet* migrated, ParentLists* plists,
+                       ReorgStats* stats) {
   // Crash here: parents already point at O_new, ERTs/parent-lists still
   // carry O_old's out-edges, both copies live.
   BRAHMA_FAILPOINT("ira:finish:before-ert-fixup");
@@ -132,6 +132,27 @@ Status FinishMigration(const ReorgContext& ctx, Transaction* txn,
     return Status::Internal("O_new unreadable");
   }
 
+  // New out-edges FIRST: O_new's entries enter the ERTs, and children's
+  // parent lists learn O_new. (With the default identity Transform this
+  // is the same edge set under the new identity; a schema-evolution
+  // Transform may have dropped or kept slots.) Order matters under
+  // sibling workers: if the old entries were removed before the new ones
+  // were added, a sibling migrating child X could read plists(X) in the
+  // window where it lists NEITHER this object nor its copy, lock no
+  // parent that pins this migration, and free X while O_new still holds
+  // an un-rewritten edge to it. Adding before removing keeps plists a
+  // superset at every instant — the sibling sees at least one of the two
+  // identities, and locking either blocks on this migration's locks.
+  for (ObjectId child : refs_of_new) {
+    if (!child.valid() || child == onew) continue;
+    if (child.partition() != onew.partition()) {
+      ctx.erts->For(child.partition()).AddRef(child, onew, "finish-new");
+    }
+    if (child.partition() == reorg_partition && plists != nullptr &&
+        (migrated == nullptr || !migrated->Contains(child))) {
+      plists->AddParent(child, onew);
+    }
+  }
   // Old out-edges: O_old's entries leave the ERTs, and children's parent
   // lists forget O_old.
   for (ObjectId child : refs_of_old) {
@@ -140,22 +161,8 @@ Status FinishMigration(const ReorgContext& ctx, Transaction* txn,
       ctx.erts->For(child.partition()).RemoveRef(child, oid, "finish-old");
     }
     if (child.partition() == reorg_partition && plists != nullptr &&
-        (migrated == nullptr || migrated->count(child) == 0)) {
+        (migrated == nullptr || !migrated->Contains(child))) {
       plists->RemoveParent(child, oid);
-    }
-  }
-  // New out-edges: O_new's entries enter the ERTs, and children's parent
-  // lists learn O_new. (With the default identity Transform this is the
-  // same edge set under the new identity; a schema-evolution Transform
-  // may have dropped or kept slots.)
-  for (ObjectId child : refs_of_new) {
-    if (!child.valid() || child == onew) continue;
-    if (child.partition() != onew.partition()) {
-      ctx.erts->For(child.partition()).AddRef(child, onew, "finish-new");
-    }
-    if (child.partition() == reorg_partition && plists != nullptr &&
-        (migrated == nullptr || migrated->count(child) == 0)) {
-      plists->AddParent(child, onew);
     }
   }
 
@@ -165,6 +172,11 @@ Status FinishMigration(const ReorgContext& ctx, Transaction* txn,
   // Crash here: everything done except freeing O_old — the canonical
   // Section 4.2 interrupted state (both copies live, parents on O_new).
   BRAHMA_FAILPOINT("ira:finish:before-free");
+  // Publish the relocation BEFORE freeing O_old: a sibling worker that
+  // observes O_old dead (under its header latch) must be able to chase
+  // O_old -> O_new in the relocation map, or it would silently skip the
+  // rewrite of a parent that now lives under the new identity.
+  if (stats != nullptr) stats->AddRelocation(oid, onew);
   // Delete O_old.
   Status s = txn->FreeObject(oid);
   if (!s.ok()) return s;
@@ -174,7 +186,6 @@ Status FinishMigration(const ReorgContext& ctx, Transaction* txn,
     ++stats->objects_migrated;
     const ObjectHeader* nh = ctx.store->Get(onew);
     if (nh != nullptr) stats->bytes_moved += nh->block_size;
-    stats->relocation[oid] = onew;
   }
   return Status::Ok();
 }
@@ -238,7 +249,7 @@ Status MoveObjectAndUpdateRefs(const ReorgContext& ctx, Transaction* txn,
                                ObjectId oid, RelocationPlanner* planner,
                                const std::vector<ObjectId>& parents,
                                PartitionId reorg_partition,
-                               const std::unordered_set<ObjectId>* migrated,
+                               const MigratedSet* migrated,
                                ParentLists* plists, ReorgStats* stats,
                                ObjectId* new_id) {
   ObjectHeader* h = ctx.store->Get(oid);
@@ -268,6 +279,12 @@ Status MoveObjectAndUpdateRefs(const ReorgContext& ctx, Transaction* txn,
       txn->CreateObjectWithContents(planner->Target(oid), new_refs, new_data,
                                     &onew, oid);
   if (!s.ok()) return s;
+  // Hold O_new's lock until this transaction resolves (uncontended: the
+  // object is unreachable). Sibling migrators learn of O_new through the
+  // parent-list fix-ups below *before* this transaction commits; the lock
+  // makes them block until the copy is durable rather than read or
+  // rewrite an uncommitted object.
+  txn->Lock(onew, LockMode::kExclusive);
   // Crash here: O_new exists but is uncommitted — recovery undoes the
   // whole migration transaction and O_old stays authoritative.
   BRAHMA_FAILPOINT("ira:move:after-copy");

@@ -1,10 +1,12 @@
 #ifndef BRAHMA_CORE_RELOCATION_H_
 #define BRAHMA_CORE_RELOCATION_H_
 
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/status.h"
 #include "core/ert.h"
 #include "core/log_analyzer.h"
@@ -125,27 +127,27 @@ class TransformPlanner : public RelocationPlanner {
   TransformFn fn_;
 };
 
-// Migration statistics (also records the old -> new identity mapping).
-struct ReorgStats {
-  uint64_t objects_migrated = 0;
-  uint64_t garbage_collected = 0;
-  uint64_t bytes_moved = 0;
-  uint64_t find_exact_retries = 0;
-  uint64_t lock_timeouts = 0;
-  uint64_t trt_tuples_drained = 0;
-  uint64_t traversal_visited = 0;
-  uint64_t trt_peak_size = 0;
-  uint64_t max_distinct_objects_locked = 0;
-  // Contention-handling accounting: exponential-backoff sleeps taken
-  // between lock-timeout retries, and their cumulative duration.
-  uint64_t backoff_sleeps = 0;
-  uint64_t backoff_total_ms = 0;
-  // Failpoint triggers observed during this run (delta of the global
-  // trigger counter; attributes concurrent-mutator triggers to the run
-  // they overlapped, which is what fault-injection reports want).
-  uint64_t faults_injected = 0;
-  double duration_ms = 0;
-  std::unordered_map<ObjectId, ObjectId> relocation;
+// The set of already-migrated objects, shared by the migration pipeline
+// (N workers consult and update it) and FinishMigration's parent-list
+// fix-ups. ReorgStats lives in common/stats.h.
+class MigratedSet {
+ public:
+  bool Contains(ObjectId oid) const {
+    std::lock_guard<std::mutex> g(mu_);
+    return set_.count(oid) > 0;
+  }
+  void Insert(ObjectId oid) {
+    std::lock_guard<std::mutex> g(mu_);
+    set_.insert(oid);
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return set_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_set<ObjectId> set_;
 };
 
 // Move_Object_And_Update_Refs (paper Figure 5): copies oid to a fresh
@@ -159,7 +161,7 @@ Status MoveObjectAndUpdateRefs(const ReorgContext& ctx, Transaction* txn,
                                ObjectId oid, RelocationPlanner* planner,
                                const std::vector<ObjectId>& parents,
                                PartitionId reorg_partition,
-                               const std::unordered_set<ObjectId>* migrated,
+                               const MigratedSet* migrated,
                                ParentLists* plists, ReorgStats* stats,
                                ObjectId* new_id);
 
@@ -179,8 +181,8 @@ Status FinishMigration(const ReorgContext& ctx, Transaction* txn,
                        ObjectId oid, ObjectId onew,
                        const std::vector<ObjectId>& refs_of_old,
                        PartitionId reorg_partition,
-                       const std::unordered_set<ObjectId>* migrated,
-                       ParentLists* plists, ReorgStats* stats);
+                       const MigratedSet* migrated, ParentLists* plists,
+                       ReorgStats* stats);
 
 // True iff live object `parent` currently stores a reference to `child`
 // (checked under the parent's latch).

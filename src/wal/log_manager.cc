@@ -1,6 +1,7 @@
 #include "wal/log_manager.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "common/failpoint.h"
 
@@ -22,16 +23,22 @@ Lsn LogManager::Append(LogRecord record) {
 void LogManager::Flush(Lsn target) {
   // Delay-only site: a slow force at commit time (group-commit stall).
   BRAHMA_FAILPOINT_HIT("wal:flush");
-  bool advanced = false;
+  Lsn capped;
   {
     std::unique_lock<std::mutex> l(mu_);
-    if (target > stable_lsn_) {
-      stable_lsn_ = std::min(target, next_lsn_ - 1);
-      advanced = true;
-    }
+    capped = std::min(target, next_lsn_ - 1);
+    if (capped <= stable_lsn_) return;  // already durable
   }
-  if (advanced && flush_latency_.count() > 0) {
+  // Pay the device latency *before* the records become stable: a commit
+  // must not observe durability until the modeled force completes.
+  // Concurrent committers still overlap group-commit style (the sleep is
+  // outside the mutex), and whoever finishes advances the high-water mark.
+  if (flush_latency_.count() > 0) {
     std::this_thread::sleep_for(flush_latency_);
+  }
+  {
+    std::unique_lock<std::mutex> l(mu_);
+    stable_lsn_ = std::max(stable_lsn_, capped);
   }
 }
 
@@ -67,7 +74,12 @@ void LogManager::DiscardUnflushed() {
   while (!records_.empty() && records_.back().lsn > stable_lsn_) {
     records_.pop_back();
   }
-  next_lsn_ = stable_lsn_ + 1;
+  // A truncation may already have dropped records *past* the stable
+  // point (first_lsn_ > stable_lsn_ + 1); rewinding next_lsn_ below
+  // first_lsn_ would break the records_[lsn - first_lsn_] indexing that
+  // ReadAfter/GetRecord rely on.
+  next_lsn_ = std::max(stable_lsn_ + 1, first_lsn_);
+  assert(next_lsn_ == first_lsn_ + static_cast<Lsn>(records_.size()));
 }
 
 std::vector<LogRecord> LogManager::StableRecordsFrom(Lsn from) const {

@@ -36,9 +36,10 @@ class LogManager {
   // is installed it runs synchronously under the log mutex.
   Lsn Append(LogRecord record);
 
-  // Forces all records with lsn <= target to the stable log. Simulated
-  // flush latency is paid outside the mutex (committers overlap like a
-  // group commit would).
+  // Forces all records with lsn <= target to the stable log. The
+  // simulated flush latency is paid outside the mutex (committers
+  // overlap like a group commit would) and *before* stable_lsn_
+  // advances: durability is only observable once the force completes.
   void Flush(Lsn target);
 
   Lsn last_lsn() const;

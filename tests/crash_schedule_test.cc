@@ -21,6 +21,8 @@ using ::brahma::testing::CollectReachable;
 using ::brahma::testing::CountDanglingRefs;
 using ::brahma::testing::CountErtDiscrepancies;
 using ::brahma::testing::CountLiveObjects;
+using ::brahma::testing::SlotSwapMutators;
+using ::brahma::testing::TotalLiveObjects;
 
 // The crash-schedule harness: discover every failpoint site a live IRA
 // run passes through, then for each site crash there mid-reorganization
@@ -81,89 +83,14 @@ TEST(CrashScheduleTest, DiscoveryEnumeratesAtLeastTenSites) {
   EXPECT_TRUE(all.count("txn:reorg-commit:before-flush"));
 }
 
-// Edge-preserving mutator: swaps two valid reference slots of one locked
-// partition-2 object per transaction. The edge multiset of the graph is
-// invariant under these (committed or rolled back), so reachable-set and
-// live-count checks stay exact across crash and recovery.
-class SlotSwapMutators {
- public:
-  SlotSwapMutators(Database* db, PartitionId p, int threads) : db_(db) {
-    db_->store().partition(p).ForEachLiveObject([&](uint64_t off) {
-      ObjectId oid(p, off);
-      const ObjectHeader* h = db_->store().partition(p).HeaderAt(off);
-      int valid = 0;
-      for (uint32_t i = 0; i < h->num_refs; ++i) {
-        if (h->refs()[i].valid()) ++valid;
-      }
-      if (valid >= 2) targets_.push_back(oid);
-    });
-    for (int t = 0; t < threads; ++t) {
-      threads_.emplace_back([this, t]() { Loop(t); });
-    }
-  }
-
-  void StopAndJoin() {
-    stop_.store(true);
-    for (auto& t : threads_) t.join();
-    threads_.clear();
-  }
-
-  uint64_t committed() const { return committed_.load(); }
-
- private:
-  void Loop(int id) {
-    Random rng(1000 + id);
-    while (!stop_.load()) {
-      ObjectId target = targets_[rng.Uniform(targets_.size())];
-      auto txn = db_->Begin();
-      if (!txn->LockWithTimeout(target, LockMode::kExclusive,
-                                std::chrono::milliseconds(30))
-               .ok()) {
-        txn->Abort();
-        continue;
-      }
-      std::vector<ObjectId> refs;
-      if (!txn->ReadRefs(target, &refs).ok()) {
-        txn->Abort();
-        continue;
-      }
-      std::vector<uint32_t> valid;
-      for (uint32_t i = 0; i < refs.size(); ++i) {
-        if (refs[i].valid()) valid.push_back(i);
-      }
-      if (valid.size() < 2) {
-        txn->Abort();
-        continue;
-      }
-      uint32_t a = valid[rng.Uniform(valid.size())];
-      uint32_t b = valid[rng.Uniform(valid.size())];
-      if (a == b || !txn->SetRef(target, a, refs[b]).ok() ||
-          !txn->SetRef(target, b, refs[a]).ok()) {
-        txn->Abort();
-        continue;
-      }
-      if (txn->Commit().ok()) committed_.fetch_add(1);
-    }
-  }
-
-  Database* db_;
-  std::vector<ObjectId> targets_;
-  std::vector<std::thread> threads_;
-  std::atomic<bool> stop_{false};
-  std::atomic<uint64_t> committed_{0};
-};
-
-uint64_t TotalLiveObjects(ObjectStore* store) {
-  uint64_t n = 0;
-  for (uint32_t p = 0; p < store->num_partitions(); ++p) {
-    n += CountLiveObjects(store, static_cast<PartitionId>(p));
-  }
-  return n;
-}
-
 // One schedule: crash the reorganizer at `site`, recover, verify, finish.
-void RunCrashSchedule(bool two_lock, const std::string& site) {
-  SCOPED_TRACE((two_lock ? "twolock @ " : "basic @ ") + site);
+// With num_workers > 1 the crash lands somewhere inside the parallel
+// pipeline — sibling workers race the dying one, so recovery must cope
+// with whatever prefix of their groups reached the stable log.
+void RunCrashSchedule(bool two_lock, const std::string& site,
+                      uint32_t num_workers = 1) {
+  SCOPED_TRACE((two_lock ? "twolock @ " : "basic @ ") + site +
+               " workers=" + std::to_string(num_workers));
   FailPoints::Instance().Reset();
 
   DatabaseOptions dopt = testing::SmallDbOptions(5);
@@ -191,6 +118,7 @@ void RunCrashSchedule(bool two_lock, const std::string& site) {
   ReorgCheckpoint ckpt;
   IraOptions opt;
   opt.two_lock_mode = two_lock;
+  opt.num_workers = num_workers;
   opt.lock_timeout = std::chrono::milliseconds(100);
   opt.backoff_initial = std::chrono::milliseconds(1);
   opt.checkpoint_sink = &ckpt;
@@ -257,6 +185,26 @@ TEST(CrashScheduleTest, TwoLockModeSurvivesCrashAtEverySite) {
   ASSERT_FALSE(sites.empty());
   for (const std::string& site : sites) {
     RunCrashSchedule(/*two_lock=*/true, site);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// The same schedules with the parallel pipeline: three workers race, one
+// dies at the armed site, recovery folds whatever prefix survived.
+TEST(CrashScheduleTest, ParallelBasicModeSurvivesCrashAtEverySite) {
+  std::vector<std::string> sites = DiscoverSites(/*two_lock=*/false);
+  ASSERT_FALSE(sites.empty());
+  for (const std::string& site : sites) {
+    RunCrashSchedule(/*two_lock=*/false, site, /*num_workers=*/3);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(CrashScheduleTest, ParallelTwoLockModeSurvivesCrashAtEverySite) {
+  std::vector<std::string> sites = DiscoverSites(/*two_lock=*/true);
+  ASSERT_FALSE(sites.empty());
+  for (const std::string& site : sites) {
+    RunCrashSchedule(/*two_lock=*/true, site, /*num_workers=*/3);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }

@@ -178,5 +178,37 @@ INSTANTIATE_TEST_SUITE_P(Modes, LogAnalyzerTest,
                          ::testing::Values(LogAnalyzer::Mode::kSynchronous,
                                            LogAnalyzer::Mode::kThread));
 
+TEST(LogAnalyzerStopTest, StopDrainsTailAppendedAfterLastPass) {
+  // The tailer sleeps between passes; records appended just before Stop
+  // must still reach the ERT — Stop drains the tail after joining.
+  DatabaseOptions opt = testing::SmallDbOptions();
+  opt.analyzer_mode = LogAnalyzer::Mode::kThread;
+  Database db(opt);
+
+  ObjectId parent, child;
+  {
+    auto txn = db.Begin();
+    ASSERT_TRUE(txn->CreateObject(1, 2, 8, &parent).ok());
+    ASSERT_TRUE(txn->CreateObject(2, 2, 8, &child).ok());
+    txn->Commit();
+  }
+  db.analyzer().Sync();
+
+  // Burst of cross-partition edge flips right before Stop, so the tailer
+  // is all but guaranteed to be mid-sleep with an unprocessed tail.
+  for (int i = 0; i < 100; ++i) {
+    auto txn = db.Begin();
+    ASSERT_TRUE(txn->Lock(parent, LockMode::kExclusive).ok());
+    ASSERT_TRUE(
+        txn->SetRef(parent, 0, i % 2 == 0 ? child : ObjectId::Invalid()).ok());
+    txn->Commit();
+  }
+  db.analyzer().Stop();
+
+  EXPECT_GE(db.analyzer().processed_lsn(), db.log().last_lsn());
+  // 100 flips end on "deleted": the final state must be reflected.
+  EXPECT_FALSE(db.erts().For(2).HasEntry(child, parent));
+}
+
 }  // namespace
 }  // namespace brahma

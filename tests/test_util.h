@@ -1,11 +1,15 @@
 #ifndef BRAHMA_TESTS_TEST_UTIL_H_
 #define BRAHMA_TESTS_TEST_UTIL_H_
 
+#include <atomic>
+#include <chrono>
 #include <deque>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/random.h"
 #include "core/database.h"
 #include "core/fuzzy_traversal.h"
 #include "workload/graph_builder.h"
@@ -43,7 +47,15 @@ inline int CountDanglingRefs(ObjectStore* store) {
       const ObjectHeader* h = part.HeaderAt(offset);
       for (uint32_t i = 0; i < h->num_refs; ++i) {
         ObjectId r = h->refs()[i];
-        if (r.valid() && !store->Validate(r)) ++dangling;
+        if (r.valid() && !store->Validate(r)) {
+          ++dangling;
+          std::fprintf(stderr,
+                       "dangling: parent %s slot %u -> dead child %s\n",
+                       ObjectId(static_cast<PartitionId>(p), offset)
+                           .ToString()
+                           .c_str(),
+                       i, r.ToString().c_str());
+        }
       }
     });
   }
@@ -118,6 +130,87 @@ inline uint64_t CountLiveObjects(ObjectStore* store, PartitionId p) {
   store->partition(p).ForEachLiveObject([&n](uint64_t) { ++n; });
   return n;
 }
+
+inline uint64_t TotalLiveObjects(ObjectStore* store) {
+  uint64_t n = 0;
+  for (uint32_t p = 0; p < store->num_partitions(); ++p) {
+    n += CountLiveObjects(store, static_cast<PartitionId>(p));
+  }
+  return n;
+}
+
+// Edge-preserving mutator fleet: each thread swaps two valid reference
+// slots of one locked object of partition p per transaction. The edge
+// multiset of the graph is invariant under these (committed or rolled
+// back), so reachable-set and live-count checks stay exact across
+// concurrent reorganization, crash, and recovery.
+class SlotSwapMutators {
+ public:
+  SlotSwapMutators(Database* db, PartitionId p, int threads) : db_(db) {
+    db_->store().partition(p).ForEachLiveObject([&](uint64_t off) {
+      ObjectId oid(p, off);
+      const ObjectHeader* h = db_->store().partition(p).HeaderAt(off);
+      int valid = 0;
+      for (uint32_t i = 0; i < h->num_refs; ++i) {
+        if (h->refs()[i].valid()) ++valid;
+      }
+      if (valid >= 2) targets_.push_back(oid);
+    });
+    for (int t = 0; t < threads; ++t) {
+      threads_.emplace_back([this, t]() { Loop(t); });
+    }
+  }
+
+  void StopAndJoin() {
+    stop_.store(true);
+    for (auto& t : threads_) t.join();
+    threads_.clear();
+  }
+
+  uint64_t committed() const { return committed_.load(); }
+
+ private:
+  void Loop(int id) {
+    Random rng(1000 + id);
+    while (!stop_.load()) {
+      ObjectId target = targets_[rng.Uniform(targets_.size())];
+      auto txn = db_->Begin();
+      if (!txn->LockWithTimeout(target, LockMode::kExclusive,
+                                std::chrono::milliseconds(30))
+               .ok()) {
+        txn->Abort();
+        continue;
+      }
+      std::vector<ObjectId> refs;
+      if (!txn->ReadRefs(target, &refs).ok()) {
+        txn->Abort();
+        continue;
+      }
+      std::vector<uint32_t> valid;
+      for (uint32_t i = 0; i < refs.size(); ++i) {
+        if (refs[i].valid()) valid.push_back(i);
+      }
+      if (valid.size() < 2) {
+        txn->Abort();
+        continue;
+      }
+      uint32_t a = valid[rng.Uniform(valid.size())];
+      uint32_t b = valid[rng.Uniform(valid.size())];
+      if (a == b || !txn->SetRef(target, a, refs[b]).ok() ||
+          !txn->SetRef(target, b, refs[a]).ok()) {
+        txn->Abort();
+        continue;
+      }
+      if (txn->Commit().ok()) committed_.fetch_add(1);
+    }
+  }
+
+  Database* db_;
+  std::vector<ObjectId> targets_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> committed_{0};
+};
 
 }  // namespace testing
 }  // namespace brahma
