@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Turn BENCH_*.json rows into ASCII and SVG figures.
+
+The benchmark binaries emit ``{"bench": name, "rows": [{key: value}]}``
+(see bench/harness.h JsonBenchWriter). This script renders each numeric
+column as a line chart against a sweep key (--x, auto-detected from the
+common sweep columns when omitted), matching the shapes of the paper's
+Figures 6-11 (throughput / response time vs MPL, partition size, update
+probability) without any plotting dependency: ASCII charts go to stdout
+(and .txt files), --svg additionally writes one standalone SVG per
+figure.
+
+Usage:
+  plot_bench.py [--out-dir DIR] [--svg] [--x KEY] [--y KEY[,KEY...]] file...
+
+Exits nonzero when no input file yields any row (so CI catches an empty
+or malformed benchmark artifact).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Sweep keys the benchmarks use, in preference order, for --x detection.
+X_KEY_CANDIDATES = ["mpl", "workers", "group_size", "threads",
+                    "objects_per_partition", "update_prob"]
+
+ASCII_W = 60
+ASCII_H = 20
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    name = doc.get("bench", os.path.basename(path))
+    rows = [r for r in doc.get("rows", []) if isinstance(r, dict)]
+    return name, rows
+
+
+def numeric_keys(rows):
+    keys = []
+    for row in rows:
+        for k, v in row.items():
+            if isinstance(v, (int, float)) and v is not None and k not in keys:
+                keys.append(k)
+    return keys
+
+
+def pick_x_key(rows, requested):
+    keys = numeric_keys(rows)
+    if requested:
+        if requested not in keys:
+            raise SystemExit(f"--x key {requested!r} not in rows "
+                             f"(have: {', '.join(keys)})")
+        return requested
+    for cand in X_KEY_CANDIDATES:
+        if cand in keys:
+            return cand
+    # Fall back to the first column (often the sweep variable anyway).
+    return keys[0] if keys else None
+
+
+def series_for(rows, x_key, y_key):
+    pts = []
+    for row in rows:
+        x, y = row.get(x_key), row.get(y_key)
+        if isinstance(x, (int, float)) and isinstance(y, (int, float)):
+            pts.append((float(x), float(y)))
+    pts.sort()
+    return pts
+
+
+def fmt(v):
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return f"{v:.4g}"
+
+
+def ascii_chart(title, x_key, y_key, pts):
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * ASCII_W for _ in range(ASCII_H)]
+
+    def cell(x, y):
+        cx = round((x - x_lo) / (x_hi - x_lo) * (ASCII_W - 1))
+        cy = round((y - y_lo) / (y_hi - y_lo) * (ASCII_H - 1))
+        return (ASCII_H - 1) - cy, cx
+
+    # Connect consecutive points with interpolated steps so the line
+    # shape reads even with few sweep points.
+    for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+        steps = max(abs(cell(x1, y1)[1] - cell(x0, y0)[1]), 1)
+        for i in range(steps + 1):
+            t = i / steps
+            r, c = cell(x0 + (x1 - x0) * t, y0 + (y1 - y0) * t)
+            if grid[r][c] == " ":
+                grid[r][c] = "."
+    for x, y in pts:
+        r, c = cell(x, y)
+        grid[r][c] = "*"
+
+    lines = [f"{title}: {y_key} vs {x_key}"]
+    for i, row in enumerate(grid):
+        label = ""
+        if i == 0:
+            label = fmt(y_hi)
+        elif i == ASCII_H - 1:
+            label = fmt(y_lo)
+        lines.append(f"{label:>10} |{''.join(row)}|")
+    lines.append(" " * 11 + "+" + "-" * ASCII_W + "+")
+    lines.append(f"{'':11} {fmt(x_lo)}{fmt(x_hi):>{ASCII_W - len(fmt(x_lo))}}")
+    return "\n".join(lines) + "\n"
+
+
+def svg_chart(title, x_key, y_key, pts):
+    w, h, margin = 480, 300, 50
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    def px(x):
+        return margin + (x - x_lo) / (x_hi - x_lo) * (w - 2 * margin)
+
+    def py(y):
+        return h - margin - (y - y_lo) / (y_hi - y_lo) * (h - 2 * margin)
+
+    poly = " ".join(f"{px(x):.1f},{py(y):.1f}" for x, y in pts)
+    dots = "".join(
+        f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="3" fill="#1f6feb"/>'
+        for x, y in pts)
+    return f"""<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}">
+<rect width="{w}" height="{h}" fill="white"/>
+<text x="{w / 2}" y="18" text-anchor="middle" font-family="sans-serif"
+ font-size="13">{title}: {y_key} vs {x_key}</text>
+<line x1="{margin}" y1="{h - margin}" x2="{w - margin}" y2="{h - margin}"
+ stroke="black"/>
+<line x1="{margin}" y1="{margin}" x2="{margin}" y2="{h - margin}"
+ stroke="black"/>
+<text x="{margin}" y="{h - margin + 16}" font-family="sans-serif"
+ font-size="11">{fmt(x_lo)}</text>
+<text x="{w - margin}" y="{h - margin + 16}" text-anchor="end"
+ font-family="sans-serif" font-size="11">{fmt(x_hi)}</text>
+<text x="{margin - 4}" y="{h - margin}" text-anchor="end"
+ font-family="sans-serif" font-size="11">{fmt(y_lo)}</text>
+<text x="{margin - 4}" y="{margin + 4}" text-anchor="end"
+ font-family="sans-serif" font-size="11">{fmt(y_hi)}</text>
+<polyline points="{poly}" fill="none" stroke="#1f6feb" stroke-width="1.5"/>
+{dots}
+</svg>
+"""
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+", help="BENCH_*.json inputs")
+    ap.add_argument("--out-dir", default=None,
+                    help="write .txt (and .svg) figures here")
+    ap.add_argument("--svg", action="store_true", help="also emit SVG files")
+    ap.add_argument("--x", default=None, help="sweep key (auto-detected)")
+    ap.add_argument("--y", default=None,
+                    help="comma-separated y keys (default: every numeric "
+                         "column except the x key)")
+    args = ap.parse_args()
+
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+
+    figures = 0
+    for path in args.files:
+        try:
+            name, rows = load_rows(path)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{path}: unreadable ({e})", file=sys.stderr)
+            continue
+        if not rows:
+            print(f"{path}: no rows", file=sys.stderr)
+            continue
+        x_key = pick_x_key(rows, args.x)
+        if x_key is None:
+            print(f"{path}: no numeric columns", file=sys.stderr)
+            continue
+        if args.y:
+            y_keys = [k.strip() for k in args.y.split(",") if k.strip()]
+        else:
+            y_keys = [k for k in numeric_keys(rows) if k != x_key]
+        for y_key in y_keys:
+            pts = series_for(rows, x_key, y_key)
+            if len(pts) < 2:
+                continue
+            chart = ascii_chart(name, x_key, y_key, pts)
+            print(chart)
+            if args.out_dir:
+                base = f"{name}_{y_key}_vs_{x_key}".replace("/", "_")
+                with open(os.path.join(args.out_dir, base + ".txt"), "w") as f:
+                    f.write(chart)
+                if args.svg:
+                    with open(os.path.join(args.out_dir, base + ".svg"),
+                              "w") as f:
+                        f.write(svg_chart(name, x_key, y_key, pts))
+            figures += 1
+
+    if figures == 0:
+        print("no figures produced (empty or malformed inputs)",
+              file=sys.stderr)
+        return 1
+    print(f"{figures} figure(s) produced", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

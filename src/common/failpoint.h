@@ -116,13 +116,38 @@ namespace failpoint {
 // hook is this single relaxed load.
 extern std::atomic<bool> g_active;
 
+// Suppresses fault injection on the current thread while in scope
+// (nestable). ARIES' "undo is never undone": an abort path — pending
+// side-effect replay, committed compensation, the transactions those
+// spawn — must not itself be failed by the very schedule that triggered
+// the abort, or the rollback could wedge half-done. Suppressed hits are
+// not counted either, so schedules stay deterministic regardless of how
+// much compensation ran.
+class ScopedSuppress {
+ public:
+  ScopedSuppress() { ++depth(); }
+  ~ScopedSuppress() { --depth(); }
+  ScopedSuppress(const ScopedSuppress&) = delete;
+  ScopedSuppress& operator=(const ScopedSuppress&) = delete;
+
+  static bool active() { return depth() > 0; }
+
+ private:
+  static int& depth() {
+    thread_local int d = 0;
+    return d;
+  }
+};
+
 inline Status Check(const char* site) {
   if (!g_active.load(std::memory_order_relaxed)) return Status::Ok();
+  if (ScopedSuppress::active()) return Status::Ok();
   return FailPoints::Instance().Evaluate(site, /*status_site=*/true);
 }
 
 inline void Hit(const char* site) {
   if (!g_active.load(std::memory_order_relaxed)) return;
+  if (ScopedSuppress::active()) return;
   FailPoints::Instance().Evaluate(site, /*status_site=*/false);
 }
 

@@ -46,6 +46,13 @@ struct ReorgStats {
   // footprint (object + approximate parents) overlapped a sibling
   // worker's in-flight migration. Cheap — no lock wait is burned.
   std::atomic<uint64_t> claim_deferrals{0};
+  // Abort churn: migration transactions that aborted cleanly (not
+  // crashed) and had their side effects rolled back, and the individual
+  // compensating actions replayed doing so (SideEffectLog entries —
+  // pending replays plus committed compensations). Degraded-mode
+  // decisions can watch these the same way they watch lock_timeouts.
+  std::atomic<uint64_t> aborts_rolled_back{0};
+  std::atomic<uint64_t> side_effects_compensated{0};
   // Failpoint triggers observed during this run (delta of the global
   // trigger counter; attributes concurrent-mutator triggers to the run
   // they overlapped, which is what fault-injection reports want).
@@ -68,6 +75,9 @@ struct ReorgStats {
     max_distinct_objects_locked.store(other.max_distinct_objects_locked.load());
     backoff_sleeps.store(other.backoff_sleeps.load());
     backoff_total_ms.store(other.backoff_total_ms.load());
+    claim_deferrals.store(other.claim_deferrals.load());
+    aborts_rolled_back.store(other.aborts_rolled_back.load());
+    side_effects_compensated.store(other.side_effects_compensated.load());
     faults_injected.store(other.faults_injected.load());
     duration_ms = other.duration_ms;
     std::scoped_lock l(relocation_mu_, other.relocation_mu_);
@@ -78,6 +88,13 @@ struct ReorgStats {
   void AddRelocation(ObjectId from, ObjectId to) {
     std::lock_guard<std::mutex> g(relocation_mu_);
     relocation[from] = to;
+  }
+  // Compensating action for AddRelocation: an aborted migration must
+  // retract its publication or a sibling would chase old -> new into a
+  // rolled-back copy.
+  void RemoveRelocation(ObjectId from) {
+    std::lock_guard<std::mutex> g(relocation_mu_);
+    relocation.erase(from);
   }
   // True (and *to filled in) when `from` was relocated by this run.
   bool Relocated(ObjectId from, ObjectId* to) const {

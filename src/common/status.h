@@ -17,7 +17,11 @@ class Status {
     kCorruption,
     kInvalidArgument,
     kTimedOut,      // lock wait timed out (deadlock resolution, Section 5)
-    kAborted,       // transaction aborted
+    kAborted,       // voluntary transaction abort: WAL undo ran, side
+                    // tables were compensated (SideEffectLog), locks were
+                    // released — the migration pipeline requeues the
+                    // object. Contrast kCrashed: nothing ran, restart
+                    // recovery owns the cleanup.
     kBusy,          // resource (e.g., upgrade conflict) busy
     kNoSpace,       // partition arena exhausted
     kInternal,

@@ -114,6 +114,19 @@ class MigrationPipe {
     cv_.notify_all();
   }
 
+  // Re-injects an object that already left the pipe (Done() was called
+  // for it) but whose migration was rolled back afterwards — a group
+  // abort undoes every migration in the group, including ones whose items
+  // completed earlier. Unlike Requeue this does not balance a Pop, so
+  // in_flight_ is untouched.
+  void Reinject(ObjectId oid, uint32_t attempt,
+                std::chrono::milliseconds delay) {
+    std::lock_guard<std::mutex> l(mu_);
+    deferred_.push_back(
+        Deferred{oid, attempt, std::chrono::steady_clock::now() + delay});
+    cv_.notify_all();
+  }
+
   // First failure wins, except a simulated crash always wins: a crashed
   // run must surface as crashed no matter what the other workers hit
   // while the pipeline unwound.
@@ -307,6 +320,13 @@ Status IraReorganizer::Resume(const ReorgCheckpoint& checkpoint,
   for (const auto& [old_id, new_id] :
        PostCheckpointRelocations(ctx_.log, checkpoint.lsn)) {
     if (migrated.Contains(old_id)) continue;
+    // Only a migration that stuck counts: old dead, new live. A rolled
+    // back migration leaves the old copy live (WAL undo or compensation
+    // recreated it) and the new one freed — it must be re-migrated, not
+    // patched into the parent lists.
+    if (ctx_.store->Validate(old_id) || !ctx_.store->Validate(new_id)) {
+      continue;
+    }
     migrated.Insert(old_id);
     stats->AddRelocation(old_id, new_id);
     RecordReverseRelocation(new_id, old_id);
@@ -354,10 +374,13 @@ Status IraReorganizer::MigrateAllAndFinish(
     return result;
   }
 
-  if (result.IsDegraded()) {
-    // Graceful degradation: persist exactly how far we got (bypassing the
-    // checkpoint cadence) so a later Resume finishes the job when
-    // contention subsides.
+  if (result.IsDegraded() || result.IsAborted() || result.IsRetryExhausted()) {
+    // Clean early stop — graceful degradation, a voluntary abort the
+    // sequential loop surfaced, or retry exhaustion. Every completed
+    // migration is committed and every rolled-back one was compensated,
+    // so the state is consistent: persist exactly how far we got
+    // (bypassing the checkpoint cadence) so a later Resume finishes the
+    // job when contention subsides.
     MaybeCheckpoint(p, options, traversed, *plists, *stats, /*force=*/true);
     ctx_.trt->Disable();
     return result;
@@ -401,8 +424,8 @@ Status IraReorganizer::MigrateSequential(
   // Degraded / retry-exhausted / error exits commit the open group: it
   // only ever holds whole completed migrations, so committing keeps the
   // finished work durable and releases the reorganizer's locks. A
-  // simulated crash abandons it instead.
-  return CloseGroup(&ws, result);
+  // simulated crash abandons it; an Aborted result rolls it back.
+  return CloseGroup(&ws, result, stats);
 }
 
 Status IraReorganizer::MigrateParallel(
@@ -508,6 +531,38 @@ void IraReorganizer::WorkerMain(MigrationPipe* pipe, PartitionId p,
       pipe->Requeue(item.oid, item.attempt + 1, delay);
       continue;
     }
+    if (s.IsAborted()) {
+      // The migration transaction aborted cleanly (injected abort, a
+      // future deadlock victim): WAL undo and side-effect replay restored
+      // the pre-migration state, so the pipeline requeues instead of
+      // halting. Roll back the open group too — its earlier migrations
+      // shared the aborted path's transaction scope — and re-inject every
+      // migration the rollback undid.
+      CloseGroup(&ws, s, stats);
+      std::unordered_set<ObjectId> again;
+      again.insert(item.oid);
+      for (ObjectId o : ws.side_effects.TakeRolledBackMigrations()) {
+        again.insert(o);
+      }
+      if (item.attempt + 1 >= options.max_retries_per_object) {
+        // An unlimited-trigger abort schedule must still terminate.
+        pipe->Stop(Status::RetryExhausted(
+            "gave up migrating " + item.oid.ToString() + " after " +
+            std::to_string(options.max_retries_per_object) + " aborts"));
+        pipe->Done();
+        continue;
+      }
+      const std::chrono::milliseconds delay =
+          BackoffDelay(item.attempt, options);
+      for (ObjectId o : again) {
+        if (o == item.oid) {
+          pipe->Requeue(o, item.attempt + 1, delay);
+        } else {
+          pipe->Reinject(o, 0, delay);
+        }
+      }
+      continue;
+    }
     if (!s.ok()) {
       pipe->Stop(s);
       pipe->Done();
@@ -534,11 +589,25 @@ void IraReorganizer::WorkerMain(MigrationPipe* pipe, PartitionId p,
   pipe->WorkerExit();
 }
 
-Status IraReorganizer::CloseGroup(MigratorState* ws, Status result) {
+Status IraReorganizer::CloseGroup(MigratorState* ws, Status result,
+                                  ReorgStats* stats) {
   if (result.IsCrashed()) {
     if (ws->group_txn != nullptr) {
       ws->group_txn->Abandon();
       ws->group_txn.reset();
+    }
+    ws->in_group = 0;
+    return result;
+  }
+  if (result.IsAborted()) {
+    // A voluntary abort rolls the whole open group back: the group is one
+    // transaction, so its WAL undo and side-effect replay cover every
+    // migration in it (including ones completed before the abort point —
+    // their kMigrated markers land in the rolled-back list for requeue).
+    if (ws->group_txn != nullptr) {
+      ws->group_txn->Abort();
+      ws->group_txn.reset();
+      if (stats != nullptr) ++stats->aborts_rolled_back;
     }
     ws->in_group = 0;
     return result;
@@ -550,6 +619,13 @@ Status IraReorganizer::CloseGroup(MigratorState* ws, Status result) {
       ws->group_txn.reset();
       ws->in_group = 0;
       return cs;
+    }
+    if (!cs.ok()) {
+      // The commit itself failed cleanly (injected abort at a commit
+      // site): the transaction is still active — roll it back so the
+      // caller sees fully-compensated state, not a half-committed one.
+      ws->group_txn->Abort();
+      if (stats != nullptr) ++stats->aborts_rolled_back;
     }
     ws->group_txn.reset();
     if (result.ok() && !cs.ok()) result = cs;
@@ -779,6 +855,11 @@ Status IraReorganizer::MigrateBasic(ObjectId oid, PartitionId p,
     if (ws->group_txn == nullptr) {
       ws->group_txn = ctx_.txns->Begin(LogSource::kReorg);
       ws->in_group = 0;
+      // Side-table mutations under this transaction record compensating
+      // closures; an abort replays them before the locks drop.
+      ws->side_effects.set_compensation_counter(
+          &stats->side_effects_compensated);
+      ws->group_txn->set_side_effect_log(&ws->side_effects);
     }
     Transaction* txn = ws->group_txn.get();
     std::vector<ObjectId> newly_locked;
@@ -835,7 +916,11 @@ Status IraReorganizer::MigrateBasic(ObjectId oid, PartitionId p,
       if (s.IsCrashed()) {
         ws->group_txn->Abandon();
       } else {
+        // Clean rollback: WAL undo restores object state, the side-effect
+        // replay (triggered inside Abort, before lock release) restores
+        // the side tables — including earlier migrations of this group.
         ws->group_txn->Abort();
+        ++stats->aborts_rolled_back;
       }
       ws->group_txn.reset();
       ws->in_group = 0;
@@ -843,13 +928,34 @@ Status IraReorganizer::MigrateBasic(ObjectId oid, PartitionId p,
     }
     migrated->Insert(oid);
     RecordReverseRelocation(onew, oid);
+    {
+      // The migration markers roll back with the group: replaying this
+      // entry un-migrates the object and reports it for requeue.
+      IraReorganizer* self = this;
+      MigratedSet* mset = migrated;
+      ws->side_effects.RecordMigrated(txn->id(), oid,
+                                      [self, mset, oid, onew] {
+                                        mset->Erase(oid);
+                                        std::lock_guard<std::mutex> g(
+                                            self->reloc_mu_);
+                                        self->reverse_relocation_.erase(onew);
+                                      });
+    }
     AtomicMax(&stats->max_distinct_objects_locked, txn->num_locks_held());
     if (++ws->in_group >= options.group_size) {
       // Crash here: the whole group's migrations are in the (unflushed)
       // log without a commit record — recovery rolls them all back.
       BRAHMA_FAILPOINT("ira:basic:before-commit");
       Status cs = ws->group_txn->Commit();
-      if (cs.IsCrashed()) ws->group_txn->Abandon();
+      if (cs.IsCrashed()) {
+        ws->group_txn->Abandon();
+      } else if (!cs.ok()) {
+        // The commit itself failed cleanly (injected abort at a commit
+        // site): the transaction is still active — roll it back so the
+        // caller sees fully-compensated state, not a half-committed one.
+        ws->group_txn->Abort();
+        ++stats->aborts_rolled_back;
+      }
       ws->group_txn.reset();
       ws->in_group = 0;
       if (!cs.ok()) return cs;
@@ -883,6 +989,15 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
     }
     claimed = true;
   }
+  // Compensation log for this migration. Two-lock mode commits O_new's
+  // create and the parent rewrites in their own transactions mid-flight,
+  // so rolling the migration back needs two phases: pending replay for
+  // whatever the open transactions did (their aborts trigger it), then
+  // physical reversal of the committed prefix (CompensateCommitted in
+  // bail, while the anchor still holds both copies).
+  SideEffectLog sel;
+  sel.set_compensation_counter(&stats->side_effects_compensated);
+
   // Anchor transaction: lock the object being migrated, in both the old
   // and (once created) the new location, for the whole migration.
   std::unique_ptr<Transaction> anchor;
@@ -918,6 +1033,7 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
       BackoffSleep(attempt, options, stats);
     }
   }
+  anchor->set_side_effect_log(&sel);
   if (options.wait_for_historical_lockers) {
     // Section 4.1: whenever the IRA locks an object it waits for every
     // active transaction that ever locked it. For the anchor lock this
@@ -927,7 +1043,12 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
     WaitForHistoricalLockers(oid, anchor.get());
   }
   // Exits with matching crash semantics: an injected crash abandons open
-  // transactions (no undo, no lock release); real errors abort them.
+  // transactions (no undo, no lock release — restart recovery owns the
+  // cleanup); clean failures abort them, which replays their pending side
+  // effects, then physically reverse the committed prefix (parent
+  // rewrites newest-first, then the O_new create) while the anchor still
+  // holds O_old and O_new — no other thread ever observes dual-copy
+  // state, mirroring the reasoning at FinishMigration's publication.
   std::unique_ptr<Transaction> ptxn;
   auto bail = [&](Status s) -> Status {
     if (ptxn != nullptr) {
@@ -940,9 +1061,11 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
     }
     if (s.IsCrashed()) {
       anchor->Abandon();
-    } else {
-      anchor->Abort();
+      return s;
     }
+    sel.CompensateCommitted();
+    ++stats->aborts_rolled_back;
+    anchor->Abort();
     return s;
   };
   {
@@ -969,6 +1092,7 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
     std::vector<uint8_t> new_data = data;
     planner->Transform(oid, &new_refs, &new_data);
     std::unique_ptr<Transaction> ctxn = ctx_.txns->Begin(LogSource::kReorg);
+    ctxn->set_side_effect_log(&sel);
     Status s = ctxn->CreateObjectWithContents(planner->Target(oid), new_refs,
                                               new_data, &onew, oid);
     if (!s.ok()) {
@@ -979,6 +1103,24 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
       }
       return bail(s);
     }
+    // Once the create commits, the WAL can no longer undo it — a later
+    // bail must free O_new with a fresh transaction. No pending undo: an
+    // uncommitted create is fully reversed by ctxn's own WAL undo. No
+    // ERT entries exist for O_new's out-edges yet (the analyzer skips
+    // reorg records; FinishMigration adds them much later), so the free
+    // is the entire reversal. Compensation order guarantees every parent
+    // has been re-pointed at O_old before this runs.
+    sel.RecordCompensable(
+        ctxn->id(), SideEffectLog::Kind::kCommittedCreate,
+        /*undo=*/nullptr, /*compensate=*/[this, onew]() -> Status {
+          std::unique_ptr<Transaction> t = ctx_.txns->Begin(LogSource::kReorg);
+          Status fs = t->FreeObject(onew);  // lock-free for reorg source
+          if (!fs.ok()) {
+            t->Abort();
+            return fs;
+          }
+          return t->Commit();
+        });
     s = ctxn->Commit();
     if (s.IsCrashed()) {
       ctxn->Abandon();
@@ -1017,7 +1159,10 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
       // it and leave a dangling edge once oid is freed).
       r = ResolveRelocated(*ctx_.store, *stats, r);
       if (r == oid || r == onew) return Status::Ok();
-      if (ptxn == nullptr) ptxn = ctx_.txns->Begin(LogSource::kReorg);
+      if (ptxn == nullptr) {
+        ptxn = ctx_.txns->Begin(LogSource::kReorg);
+        ptxn->set_side_effect_log(&sel);
+      }
       Status s = ptxn->LockWithTimeout(r, LockMode::kExclusive,
                                        options.lock_timeout);
       if (s.IsCrashed()) {
@@ -1062,6 +1207,52 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
         ptxn.reset();
         return s;
       }
+      {
+        // While ptxn is open, the plists removal reverses in memory (the
+        // rewrite's slot + ERT undo ride ptxn's WAL and the entry
+        // RewriteParentEdge just recorded). Once ptxn commits, only a
+        // physical reversal remains possible: re-lock the (possibly
+        // since-relocated) parent with a fresh transaction and rewrite
+        // its slots back from O_new to O_old — the argument swap also
+        // reverses the ERT adjustments. Runs during bail only, while the
+        // anchor still pins O_old and O_new; lock waits retry until
+        // granted (holders complete — user timeouts break any cycle).
+        ParentLists* pl = plists;
+        const ObjectId parent = r;
+        sel.RecordCompensable(
+            ptxn->id(), SideEffectLog::Kind::kCommittedRewrite,
+            /*undo=*/[pl, oid, parent] { pl->AddParent(oid, parent); },
+            /*compensate=*/[this, pl, oid, onew, parent, stats]() -> Status {
+              std::unique_ptr<Transaction> t =
+                  ctx_.txns->Begin(LogSource::kReorg);
+              ObjectId rr = parent;
+              for (;;) {
+                rr = ResolveRelocated(*ctx_.store, *stats, rr);
+                if (rr == oid || rr == onew) break;
+                Status ls = t->LockWithTimeout(rr, LockMode::kExclusive,
+                                               ctx_.txns->ctx().lock_timeout);
+                if (ls.IsTimedOut()) continue;
+                if (!ls.ok()) {
+                  t->Abort();
+                  return ls;
+                }
+                if (!ctx_.store->Validate(rr)) {
+                  t->Unlock(rr);
+                  if (ResolveRelocated(*ctx_.store, *stats, rr) == rr) break;
+                  continue;
+                }
+                Status rs = RewriteParentEdge(ctx_, t.get(), rr, onew, oid,
+                                              onew.partition(), nullptr);
+                if (!rs.ok()) {
+                  t->Abort();
+                  return rs;
+                }
+                pl->AddParent(oid, rr);
+                break;
+              }
+              return t->Commit();
+            });
+      }
       plists->RemoveParent(oid, r);
       AtomicMax(&stats->max_distinct_objects_locked,
                 1 /* O_old + O_new */ + ptxn->num_locks_held());
@@ -1081,10 +1272,10 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
   for (ObjectId r : plists->Get(oid)) {
     if (r == oid) continue;
     Status s = process_parent(r);
-    if (!s.ok()) {
-      if (!s.IsCrashed()) commit_group();
-      return bail(s);
-    }
+    // No commit of the open group on a clean failure: bail aborts it,
+    // replaying its side effects, and compensates the committed prefix —
+    // the migration rolls back whole rather than rolling forward half.
+    if (!s.ok()) return bail(s);
   }
 
   // Drain the TRT for oid, locking one parent at a time (batched per
@@ -1097,10 +1288,7 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
       ObjectId r = ResolveRelocated(*ctx_.store, *stats, t.parent);
       if (r != oid && r != onew) {
         Status s = process_parent(r);
-        if (!s.ok()) {
-          if (!s.IsCrashed()) commit_group();
-          return bail(s);
-        }
+        if (!s.ok()) return bail(s);
       }
       ctx_.trt->EraseTuple(t);
       ++stats->trt_tuples_drained;
@@ -1164,20 +1352,39 @@ Status IraReorganizer::SweepGarbage(
   if (garbage.empty()) return Status::Ok();
 
   std::unique_ptr<Transaction> gtxn = ctx_.txns->Begin(LogSource::kReorg);
+  SideEffectLog sel;
+  sel.set_compensation_counter(&stats->side_effects_compensated);
+  gtxn->set_side_effect_log(&sel);
+  ErtSet* erts = ctx_.erts;
   std::vector<ObjectId> refs;
   for (ObjectId oid : garbage) {
     // Garbage may reference live objects in other partitions; drop the
-    // corresponding ERT back pointers before freeing.
+    // corresponding ERT back pointers before freeing. The removals roll
+    // back with the sweep transaction (the frees are undone by the WAL,
+    // which would otherwise revive garbage whose back pointers are gone).
     if (ReadRefsLatched(ctx_.store, oid, &refs)) {
+      std::vector<ObjectId> removed;
       for (ObjectId child : refs) {
         if (child.partition() != p) {
-          ctx_.erts->For(child.partition()).RemoveRef(child, oid, "gc");
+          if (erts->For(child.partition()).RemoveRef(child, oid, "gc")) {
+            removed.push_back(child);
+          }
         }
+      }
+      if (!removed.empty()) {
+        sel.Record(gtxn->id(), SideEffectLog::Kind::kErtAdjust,
+                   [erts, oid, removed] {
+                     for (ObjectId child : removed) {
+                       erts->For(child.partition()).AddRef(child, oid,
+                                                           "undo-gc");
+                     }
+                   });
       }
     }
     Status s = gtxn->FreeObject(oid);
     if (!s.ok()) {
       gtxn->Abort();
+      ++stats->aborts_rolled_back;
       return s;
     }
     ++stats->garbage_collected;

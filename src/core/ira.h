@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "core/relocation.h"
 #include "core/reorg_checkpoint.h"
+#include "core/side_effect_log.h"
 
 namespace brahma {
 
@@ -109,15 +110,25 @@ class IraReorganizer {
   Status Resume(const ReorgCheckpoint& checkpoint, RelocationPlanner* planner,
                 const IraOptions& options, ReorgStats* stats);
 
+  // Footprint claims currently outstanding. Zero whenever no migration is
+  // in flight — a claim that survives an abort is a leak (the abort
+  // harness asserts this).
+  size_t ActiveFootprintClaims() {
+    std::lock_guard<std::mutex> g(claims_mu_);
+    return claims_.size();
+  }
+
  private:
   friend class MigrationPipe;
 
-  // Per-worker migration state: the open Section 4.3 group transaction.
-  // The sequential path uses a single instance; the parallel pipeline
-  // gives each worker its own.
+  // Per-worker migration state: the open Section 4.3 group transaction
+  // and the compensation log its side effects are recorded in. The
+  // sequential path uses a single instance; the parallel pipeline gives
+  // each worker its own.
   struct MigratorState {
     std::unique_ptr<Transaction> group_txn;
     uint32_t in_group = 0;
+    SideEffectLog side_effects;
   };
 
   // Shared second step: migrate `objects` (skipping already-migrated /
@@ -156,9 +167,13 @@ class IraReorganizer {
                   MigratedSet* migrated, ParentLists* plists,
                   ReorgStats* stats);
 
-  // Commits (or abandons, after a simulated crash) ws's open group and
-  // folds the commit status into `result`.
-  static Status CloseGroup(MigratorState* ws, Status result);
+  // Commits ws's open group and folds the commit status into `result`.
+  // A crashed result abandons the group (a dead process commits nothing);
+  // an Aborted result rolls the whole open group back — its transaction
+  // aborts, replaying the group's side effects (accounted in *stats when
+  // provided).
+  static Status CloseGroup(MigratorState* ws, Status result,
+                           ReorgStats* stats = nullptr);
 
   void MaybeCheckpoint(PartitionId p, const IraOptions& options,
                        const std::unordered_set<ObjectId>& traversed,

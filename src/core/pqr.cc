@@ -4,6 +4,7 @@
 
 #include "common/clock.h"
 #include "core/fuzzy_traversal.h"
+#include "core/side_effect_log.h"
 
 namespace brahma {
 
@@ -15,6 +16,12 @@ Status PqrReorganizer::Run(PartitionId p, RelocationPlanner* planner,
   ctx_.txns->WaitForAll(ctx_.txns->ActiveTxns());
 
   std::unique_ptr<Transaction> txn = ctx_.txns->Begin(LogSource::kReorg);
+  // Side tables mutated during the quiescent move-loop roll back with the
+  // single reorg transaction: Abort replays the compensation log before
+  // releasing the quiescing locks, so nothing observes half-undone state.
+  SideEffectLog sel;
+  sel.set_compensation_counter(&stats->side_effects_compensated);
+  txn->set_side_effect_log(&sel);
 
   // Quiesce_Partition: lock every external parent noted in the ERT, then
   // every parent the TRT reveals, until no unlocked parent remains.
@@ -86,8 +93,11 @@ Status PqrReorganizer::Run(PartitionId p, RelocationPlanner* planner,
 
   if (result.ok()) {
     txn->Commit();
+  } else if (result.IsCrashed()) {
+    txn->Abandon();  // crash semantics: restart recovery owns the cleanup
   } else {
     txn->Abort();
+    ++stats->aborts_rolled_back;
   }
   ctx_.trt->Disable();
   stats->duration_ms = sw.ElapsedMillis();

@@ -5,6 +5,7 @@
 
 #include "common/failpoint.h"
 #include "core/fuzzy_traversal.h"
+#include "core/side_effect_log.h"
 
 namespace brahma {
 
@@ -81,13 +82,36 @@ Status RewriteParentEdge(const ReorgContext& ctx, Transaction* txn,
   // Update the ERTs of the partitions where O_old and O_new reside. The
   // ERT is a multiset (one entry per referencing slot), so adjust it once
   // per rewritten slot.
+  size_t removed = 0;
+  size_t added = 0;
   for (size_t i = 0; i < slots.size(); ++i) {
     if (parent.partition() != reorg_partition) {
-      ctx.erts->For(reorg_partition).RemoveRef(oid, parent, "rewrite");
+      if (ctx.erts->For(reorg_partition).RemoveRef(oid, parent, "rewrite")) {
+        ++removed;
+      }
     }
     if (parent.partition() != onew.partition()) {
       ctx.erts->For(onew.partition()).AddRef(onew, parent, "rewrite");
+      ++added;
     }
+  }
+  // The analyzer skips reorg-sourced records, so an abort's CLRs restore
+  // the slots but never the ERT entries adjusted above — log the exact
+  // counts for compensating replay.
+  SideEffectLog* sel = txn->side_effect_log();
+  if (sel != nullptr && (removed > 0 || added > 0)) {
+    ErtSet* erts = ctx.erts;
+    sel->Record(txn->id(), SideEffectLog::Kind::kErtAdjust,
+                [erts, oid, onew, parent, reorg_partition, removed, added] {
+                  for (size_t i = 0; i < added; ++i) {
+                    erts->For(onew.partition())
+                        .RemoveRef(onew, parent, "undo-rewrite");
+                  }
+                  for (size_t i = 0; i < removed; ++i) {
+                    erts->For(reorg_partition)
+                        .AddRef(oid, parent, "undo-rewrite");
+                  }
+                });
   }
   return Status::Ok();
 }
@@ -132,6 +156,14 @@ Status FinishMigration(const ReorgContext& ctx, Transaction* txn,
     return Status::Internal("O_new unreadable");
   }
 
+  // Non-WAL mutations from here on record compensating closures with the
+  // transaction's SideEffectLog (when attached): the analyzer skips reorg
+  // records, so an abort's CLRs restore object state but none of the
+  // side tables. Entries are recorded in forward order; replay runs
+  // newest-first, reversing them exactly.
+  SideEffectLog* sel = txn->side_effect_log();
+  ErtSet* erts = ctx.erts;
+
   // New out-edges FIRST: O_new's entries enter the ERTs, and children's
   // parent lists learn O_new. (With the default identity Transform this
   // is the same edge set under the new identity; a schema-evolution
@@ -143,31 +175,74 @@ Status FinishMigration(const ReorgContext& ctx, Transaction* txn,
   // an un-rewritten edge to it. Adding before removing keeps plists a
   // superset at every instant — the sibling sees at least one of the two
   // identities, and locking either blocks on this migration's locks.
-  for (ObjectId child : refs_of_new) {
-    if (!child.valid() || child == onew) continue;
-    if (child.partition() != onew.partition()) {
-      ctx.erts->For(child.partition()).AddRef(child, onew, "finish-new");
+  {
+    std::vector<ObjectId> ert_added;
+    std::vector<ObjectId> plist_added;
+    for (ObjectId child : refs_of_new) {
+      if (!child.valid() || child == onew) continue;
+      if (child.partition() != onew.partition()) {
+        ctx.erts->For(child.partition()).AddRef(child, onew, "finish-new");
+        ert_added.push_back(child);
+      }
+      if (child.partition() == reorg_partition && plists != nullptr &&
+          (migrated == nullptr || !migrated->Contains(child))) {
+        plists->AddParent(child, onew);
+        plist_added.push_back(child);
+      }
     }
-    if (child.partition() == reorg_partition && plists != nullptr &&
-        (migrated == nullptr || !migrated->Contains(child))) {
-      plists->AddParent(child, onew);
+    if (sel != nullptr && (!ert_added.empty() || !plist_added.empty())) {
+      sel->Record(txn->id(), SideEffectLog::Kind::kErtAdjust,
+                  [erts, plists, onew, ert_added, plist_added] {
+                    for (ObjectId child : ert_added) {
+                      erts->For(child.partition())
+                          .RemoveRef(child, onew, "undo-finish-new");
+                    }
+                    for (ObjectId child : plist_added) {
+                      plists->RemoveParent(child, onew);
+                    }
+                  });
     }
   }
   // Old out-edges: O_old's entries leave the ERTs, and children's parent
   // lists forget O_old.
-  for (ObjectId child : refs_of_old) {
-    if (!child.valid() || child == oid) continue;
-    if (child.partition() != reorg_partition) {
-      ctx.erts->For(child.partition()).RemoveRef(child, oid, "finish-old");
+  {
+    std::vector<ObjectId> ert_removed;
+    std::vector<ObjectId> plist_removed;
+    for (ObjectId child : refs_of_old) {
+      if (!child.valid() || child == oid) continue;
+      if (child.partition() != reorg_partition) {
+        if (ctx.erts->For(child.partition())
+                .RemoveRef(child, oid, "finish-old")) {
+          ert_removed.push_back(child);
+        }
+      }
+      if (child.partition() == reorg_partition && plists != nullptr &&
+          (migrated == nullptr || !migrated->Contains(child))) {
+        if (plists->Contains(child, oid)) plist_removed.push_back(child);
+        plists->RemoveParent(child, oid);
+      }
     }
-    if (child.partition() == reorg_partition && plists != nullptr &&
-        (migrated == nullptr || !migrated->Contains(child))) {
-      plists->RemoveParent(child, oid);
+    if (sel != nullptr && (!ert_removed.empty() || !plist_removed.empty())) {
+      sel->Record(txn->id(), SideEffectLog::Kind::kErtAdjust,
+                  [erts, plists, oid, ert_removed, plist_removed] {
+                    for (ObjectId child : ert_removed) {
+                      erts->For(child.partition())
+                          .AddRef(child, oid, "undo-finish-old");
+                    }
+                    for (ObjectId child : plist_removed) {
+                      plists->AddParent(child, oid);
+                    }
+                  });
     }
   }
 
   // TRT tuples naming O_old as the *parent* now physically live in O_new.
   ctx.trt->RenameParent(oid, onew);
+  if (sel != nullptr) {
+    Trt* trt = ctx.trt;
+    sel->Record(txn->id(), SideEffectLog::Kind::kTrtRename,
+                [trt, oid, onew] { trt->RenameParent(onew, oid); });
+  }
 
   // Crash here: everything done except freeing O_old — the canonical
   // Section 4.2 interrupted state (both copies live, parents on O_new).
@@ -176,16 +251,41 @@ Status FinishMigration(const ReorgContext& ctx, Transaction* txn,
   // observes O_old dead (under its header latch) must be able to chase
   // O_old -> O_new in the relocation map, or it would silently skip the
   // rewrite of a parent that now lives under the new identity.
-  if (stats != nullptr) stats->AddRelocation(oid, onew);
+  if (stats != nullptr) {
+    stats->AddRelocation(oid, onew);
+    if (sel != nullptr) {
+      sel->Record(txn->id(), SideEffectLog::Kind::kRelocation,
+                  [stats, oid] { stats->RemoveRelocation(oid); });
+    }
+  }
   // Delete O_old.
   Status s = txn->FreeObject(oid);
   if (!s.ok()) return s;
 
-  if (plists != nullptr) plists->Erase(oid);
+  if (plists != nullptr) {
+    std::vector<ObjectId> old_parents = plists->Get(oid);
+    plists->Erase(oid);
+    if (sel != nullptr) {
+      sel->Record(txn->id(), SideEffectLog::Kind::kParentLists,
+                  [plists, oid, old_parents] {
+                    for (ObjectId r : old_parents) plists->AddParent(oid, r);
+                  });
+    }
+  }
   if (stats != nullptr) {
     ++stats->objects_migrated;
+    uint64_t moved = 0;
     const ObjectHeader* nh = ctx.store->Get(onew);
-    if (nh != nullptr) stats->bytes_moved += nh->block_size;
+    if (nh != nullptr) {
+      moved = nh->block_size;
+      stats->bytes_moved += moved;
+    }
+    if (sel != nullptr) {
+      sel->Record(txn->id(), SideEffectLog::Kind::kCounters, [stats, moved] {
+        --stats->objects_migrated;
+        stats->bytes_moved -= moved;
+      });
+    }
   }
   return Status::Ok();
 }

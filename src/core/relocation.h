@@ -140,6 +140,11 @@ class MigratedSet {
     std::lock_guard<std::mutex> g(mu_);
     set_.insert(oid);
   }
+  // Compensating action for Insert (abort rollback of a whole migration).
+  void Erase(ObjectId oid) {
+    std::lock_guard<std::mutex> g(mu_);
+    set_.erase(oid);
+  }
   size_t size() const {
     std::lock_guard<std::mutex> g(mu_);
     return set_.size();

@@ -89,14 +89,20 @@ inline void ReconstructTrt(LogManager* log, Lsn from_lsn, Trt* trt) {
 inline std::unordered_map<ObjectId, ObjectId> PostCheckpointRelocations(
     LogManager* log, Lsn from_lsn) {
   std::unordered_set<TxnId> committed;
+  std::unordered_set<TxnId> aborted;
   for (const LogRecord& rec : log->StableRecordsFrom(from_lsn + 1)) {
     if (rec.type == LogRecordType::kCommit) committed.insert(rec.txn);
+    // A group transaction can commit its creation and later be rolled
+    // back whole (two-lock compensation frees O_new under a fresh txn;
+    // basic mode aborts before the commit) — an abort record anywhere in
+    // the txn's history disqualifies it.
+    if (rec.type == LogRecordType::kAbort) aborted.insert(rec.txn);
   }
   std::unordered_map<ObjectId, ObjectId> out;
   for (const LogRecord& rec : log->StableRecordsFrom(from_lsn + 1)) {
     if (rec.type == LogRecordType::kCreate &&
         rec.source == LogSource::kReorg && rec.reorg_old.valid() &&
-        committed.count(rec.txn) > 0) {
+        committed.count(rec.txn) > 0 && aborted.count(rec.txn) == 0) {
       out[rec.reorg_old] = rec.oid;
     }
   }

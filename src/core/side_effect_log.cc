@@ -1,0 +1,132 @@
+#include "core/side_effect_log.h"
+
+#include "common/failpoint.h"
+
+namespace brahma {
+
+void SideEffectLog::Record(TxnId txn, Kind kind, UndoFn undo) {
+  Entry e;
+  e.txn = txn;
+  e.kind = kind;
+  e.undo = std::move(undo);
+  std::lock_guard<std::mutex> g(mu_);
+  entries_.push_back(std::move(e));
+}
+
+void SideEffectLog::RecordCompensable(TxnId txn, Kind kind, UndoFn undo,
+                                      CompensateFn compensate) {
+  Entry e;
+  e.txn = txn;
+  e.kind = kind;
+  e.undo = std::move(undo);
+  e.compensate = std::move(compensate);
+  std::lock_guard<std::mutex> g(mu_);
+  entries_.push_back(std::move(e));
+}
+
+void SideEffectLog::RecordMigrated(TxnId txn, ObjectId oid, UndoFn undo) {
+  Entry e;
+  e.txn = txn;
+  e.kind = Kind::kMigrated;
+  e.migrated_oid = oid;
+  e.undo = std::move(undo);
+  std::lock_guard<std::mutex> g(mu_);
+  entries_.push_back(std::move(e));
+}
+
+void SideEffectLog::Bump() {
+  ++replayed_;
+  if (counter_ != nullptr) {
+    counter_->fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SideEffectLog::ReplayPendingFor(TxnId txn) {
+  failpoint::ScopedSuppress suppress;
+  for (;;) {
+    Entry e;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      size_t i = entries_.size();
+      while (i > 0 && (entries_[i - 1].txn != txn || entries_[i - 1].committed)) {
+        --i;
+      }
+      if (i == 0) return;
+      // Pop before running: an interrupted replay that re-enters never
+      // sees (and never re-runs) this entry.
+      e = std::move(entries_[i - 1]);
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i - 1));
+      if (e.migrated_oid.valid()) rolled_back_.push_back(e.migrated_oid);
+    }
+    if (e.undo) {
+      e.undo();
+      std::lock_guard<std::mutex> g(mu_);
+      Bump();
+    }
+  }
+}
+
+void SideEffectLog::PromoteFor(TxnId txn) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (size_t i = entries_.size(); i > 0;) {
+    --i;
+    Entry& e = entries_[i];
+    if (e.txn != txn || e.committed) continue;
+    if (e.compensate) {
+      e.committed = true;
+      e.undo = nullptr;  // the WAL owner committed; only physical
+                         // compensation remains meaningful
+    } else {
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+    }
+  }
+}
+
+Status SideEffectLog::CompensateCommitted() {
+  failpoint::ScopedSuppress suppress;
+  for (;;) {
+    Entry e;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      size_t i = entries_.size();
+      while (i > 0 && !entries_[i - 1].committed) --i;
+      if (i == 0) return Status::Ok();
+      e = std::move(entries_[i - 1]);
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i - 1));
+    }
+    // Run outside mu_: committed compensation takes real locks and may
+    // block on user transactions.
+    Status s = e.compensate();
+    std::lock_guard<std::mutex> g(mu_);
+    if (!s.ok()) {
+      entries_.push_back(std::move(e));
+      return s;
+    }
+    Bump();
+  }
+}
+
+std::vector<ObjectId> SideEffectLog::TakeRolledBackMigrations() {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<ObjectId> out;
+  out.swap(rolled_back_);
+  return out;
+}
+
+void SideEffectLog::Clear() {
+  std::lock_guard<std::mutex> g(mu_);
+  entries_.clear();
+  rolled_back_.clear();
+}
+
+size_t SideEffectLog::entries() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return entries_.size();
+}
+
+uint64_t SideEffectLog::replayed() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return replayed_;
+}
+
+}  // namespace brahma

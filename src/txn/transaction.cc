@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/failpoint.h"
+#include "core/side_effect_log.h"
 #include "txn/transaction_manager.h"
 
 namespace brahma {
@@ -217,6 +218,9 @@ Status Transaction::Commit() {
                        : "txn:commit:before-flush");
   ctx_.log->Flush(lsn);
   state_ = State::kCommitted;
+  // Side effects become permanent with the transaction: pending entries
+  // are dropped, compensable ones kept for a later committed reversal.
+  if (side_effect_log_ != nullptr) side_effect_log_->PromoteFor(id_);
   mgr_->OnComplete(this, /*committed=*/true);
   return Status::Ok();
 }
@@ -230,6 +234,11 @@ void Transaction::Abandon() {
 Status Transaction::Abort() {
   if (state_ != State::kActive) return Status::Aborted("txn not active");
   UndoToEnd();
+  // Reverse this transaction's non-WAL side effects (side tables) before
+  // OnComplete releases the locks: once a lock drops, another thread may
+  // read the parent lists / ERTs, and they must already be back to the
+  // pre-migration state.
+  if (side_effect_log_ != nullptr) side_effect_log_->ReplayPendingFor(id_);
   LogRecord rec;
   rec.type = LogRecordType::kAbort;
   AppendOwn(std::move(rec));

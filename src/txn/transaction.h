@@ -16,6 +16,7 @@
 
 namespace brahma {
 
+class SideEffectLog;
 class TransactionManager;
 
 // Shared wiring a transaction needs to do its work.
@@ -103,6 +104,17 @@ class Transaction {
   // SimulateCrash clears the leftover lock state.
   void Abandon();
 
+  // Compensation log for non-WAL side effects (parent lists, ERTs, TRT,
+  // relocation map) that reorganization code mutates under this
+  // transaction. When set, Abort replays the owner's pending entries —
+  // after WAL undo, before lock release, so no other thread observes
+  // half-undone side tables — and Commit promotes them (drops pending,
+  // keeps committed compensation). Abandon touches nothing: crash
+  // semantics leave cleanup to restart recovery. Null for ordinary
+  // transactions.
+  void set_side_effect_log(SideEffectLog* log) { side_effect_log_ = log; }
+  SideEffectLog* side_effect_log() const { return side_effect_log_; }
+
   // Transaction-local memory: references the transaction has copied out
   // of objects (paper Section 2). Maintained by ReadRefs/ReadRef and used
   // by workloads to pick legal reference targets.
@@ -138,6 +150,7 @@ class Transaction {
   std::unordered_set<ObjectId> held_;
   std::vector<ObjectId> ever_locked_;
   std::vector<ObjectId> local_refs_;
+  SideEffectLog* side_effect_log_ = nullptr;
 };
 
 }  // namespace brahma

@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
 
+#include "core/database.h"
 #include "core/ert.h"
 #include "core/trt.h"
+#include "tests/test_util.h"
+#include "workload/graph_builder.h"
 
 namespace brahma {
 namespace {
@@ -184,6 +190,134 @@ TEST(TrtTest, EnableClearsOldState) {
   trt.Disable();
   trt.Enable(1, true);
   EXPECT_EQ(trt.Size(), 0u);
+}
+
+// Erase/re-insert churn (the reorganizer's fix-up pattern, and the
+// side-effect log's undo pattern) racing a balanced add/remove feed (the
+// log analyzer's pattern). Multiset semantics must hold exactly: the
+// stable entries keep multiplicity 1, the transient ones vanish.
+TEST(ErtTest, ConcurrentEraseReinsertKeepsMultiplicityExact) {
+  Ert ert;
+  constexpr int kChildren = 32;
+  const ObjectId kStableParent(3, 64);
+  std::vector<ObjectId> children;
+  for (int i = 0; i < kChildren; ++i) {
+    children.emplace_back(1, 64 * (i + 1));
+    ert.AddRef(children.back(), kStableParent);
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  // Churn threads: remove-if-found-then-re-add the stable entry — the
+  // compensating-undo shape. Count-preserving under any interleaving.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&ert, &children, &stop, t] {
+      size_t i = static_cast<size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        ObjectId child = children[i++ % children.size()];
+        if (ert.RemoveRef(child, ObjectId(3, 64), "churn")) {
+          ert.AddRef(child, ObjectId(3, 64), "churn");
+        }
+      }
+    });
+  }
+  // Feed threads: balanced add-then-remove of a transient per-thread
+  // parent, the analyzer's committed insert/delete stream.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&ert, &children, t] {
+      const ObjectId parent(2, 64 * (t + 1));
+      for (int iter = 0; iter < 4000; ++iter) {
+        ObjectId child = children[static_cast<size_t>(iter) % children.size()];
+        ert.AddRef(child, parent, "feed");
+        EXPECT_TRUE(ert.RemoveRef(child, parent, "feed"));
+      }
+    });
+  }
+  threads[2].join();
+  threads[3].join();
+  stop.store(true);
+  threads[0].join();
+  threads[1].join();
+
+  for (ObjectId child : children) {
+    std::vector<ObjectId> parents = ert.ParentsOf(child);
+    ASSERT_EQ(parents.size(), 1u) << child.ToString();
+    EXPECT_EQ(parents[0], kStableParent);
+  }
+  EXPECT_EQ(ert.Size(), static_cast<size_t>(kChildren));
+}
+
+// The same churn against a live database: user transactions feed the log
+// analyzer (which adds/removes ERT entries concurrently) while a
+// reorganizer-style thread erases and re-inserts entries of edges the
+// mutators never touch. The ERT must end exactly consistent with the
+// physical graph.
+TEST(ErtSetTest, EraseReinsertUnderConcurrentAnalyzerFeed) {
+  Database db(testing::SmallDbOptions(5));
+  WorkloadParams params = testing::SmallWorkload(3);
+  BuiltGraph graph;
+  GraphBuilder builder(&db);
+  ASSERT_TRUE(builder.Build(params, &graph).ok());
+
+  // Plant partition-3 -> partition-1 edges to churn. The mutators only
+  // rewrite partition-2 objects, so these edges' ERT entries change only
+  // under our churn — their final multiplicity must be exactly one.
+  std::vector<ObjectId> p3, p1;
+  db.store().partition(3).ForEachLiveObject([&](uint64_t off) {
+    if (p3.size() < 8 &&
+        db.store().partition(3).HeaderAt(off)->num_refs >= 1) {
+      p3.emplace_back(3, off);
+    }
+  });
+  db.store().partition(1).ForEachLiveObject([&](uint64_t off) {
+    if (p1.size() < 8) p1.emplace_back(1, off);
+  });
+  ASSERT_GE(p3.size(), 4u);
+  ASSERT_GE(p1.size(), 4u);
+  const size_t edges = std::min(p3.size(), p1.size());
+  std::vector<std::pair<ObjectId, ObjectId>> churn;  // (child, parent)
+  {
+    auto txn = db.Begin();
+    for (size_t i = 0; i < edges; ++i) {
+      ASSERT_TRUE(txn->Lock(p3[i], LockMode::kExclusive).ok());
+      ASSERT_TRUE(txn->SetRef(p3[i], 0, p1[i]).ok());
+      churn.emplace_back(p1[i], p3[i]);
+    }
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  db.analyzer().Sync();
+  Ert& ert1 = db.erts().For(1);
+  auto multiplicity_of = [&ert1](ObjectId child, ObjectId parent) {
+    int n = 0;
+    for (ObjectId p : ert1.ParentsOf(child)) {
+      if (p == parent) ++n;
+    }
+    return n;
+  };
+  std::vector<int> before;
+  for (const auto& [child, parent] : churn) {
+    ASSERT_TRUE(ert1.HasEntry(child, parent));
+    before.push_back(multiplicity_of(child, parent));
+  }
+
+  testing::SlotSwapMutators mutators(&db, 2, /*threads=*/2);
+  for (int iter = 0; iter < 2000; ++iter) {
+    for (const auto& [child, parent] : churn) {
+      if (ert1.RemoveRef(child, parent, "churn")) {
+        ert1.AddRef(child, parent, "churn");
+      }
+    }
+  }
+  mutators.StopAndJoin();
+  db.analyzer().Sync();
+
+  // Churn is count-preserving: every edge keeps its pre-churn
+  // multiplicity no matter how the analyzer feed interleaved.
+  for (size_t i = 0; i < churn.size(); ++i) {
+    EXPECT_EQ(multiplicity_of(churn[i].first, churn[i].second), before[i])
+        << churn[i].first.ToString() << " <- " << churn[i].second.ToString();
+  }
+  EXPECT_EQ(testing::CountErtDiscrepancies(&db.store(), &db.erts()), 0);
 }
 
 TEST(TrtTest, Counters) {

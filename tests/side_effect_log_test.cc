@@ -1,0 +1,197 @@
+#include "core/side_effect_log.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/database.h"
+#include "tests/test_util.h"
+
+namespace brahma {
+namespace {
+
+using Kind = SideEffectLog::Kind;
+
+TEST(SideEffectLogTest, ReplayIsNewestFirstAndPerTxn) {
+  SideEffectLog log;
+  std::vector<int> order;
+  log.Record(1, Kind::kErtAdjust, [&order] { order.push_back(1); });
+  log.Record(2, Kind::kErtAdjust, [&order] { order.push_back(20); });
+  log.Record(1, Kind::kParentLists, [&order] { order.push_back(2); });
+  log.Record(1, Kind::kTrtRename, [&order] { order.push_back(3); });
+
+  log.ReplayPendingFor(1);
+  // Only txn 1's entries replay, newest first; txn 2's entry survives.
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1}));
+  EXPECT_EQ(log.entries(), 1u);
+  EXPECT_EQ(log.replayed(), 3u);
+
+  log.ReplayPendingFor(2);
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1, 20}));
+  EXPECT_EQ(log.entries(), 0u);
+}
+
+TEST(SideEffectLogTest, ReplayIsIdempotentUnderReentry) {
+  // Each entry is popped before its closure runs, so a replay that is
+  // itself re-entered (an undo path aborting again) runs nothing twice.
+  SideEffectLog log;
+  int a = 0, b = 0, c = 0;
+  log.Record(7, Kind::kErtAdjust, [&a] { ++a; });
+  log.Record(7, Kind::kErtAdjust, [&b] { ++b; });
+  log.Record(7, Kind::kErtAdjust, [&log, &c] {
+    ++c;
+    log.ReplayPendingFor(7);  // re-entrant replay of the same owner
+  });
+  log.ReplayPendingFor(7);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(c, 1);
+  EXPECT_EQ(log.entries(), 0u);
+}
+
+TEST(SideEffectLogTest, CommitPromotesCompensableAndDropsPending) {
+  SideEffectLog log;
+  int undone = 0;
+  bool compensated = false;
+  log.Record(3, Kind::kErtAdjust, [&undone] { ++undone; });
+  log.RecordCompensable(3, Kind::kCommittedRewrite, [&undone] { ++undone; },
+                        [&compensated]() -> Status {
+                          compensated = true;
+                          return Status::Ok();
+                        });
+  log.PromoteFor(3);
+  EXPECT_EQ(log.entries(), 1u);  // only the compensable entry survives
+
+  // The owner is committed: nothing pending remains to replay.
+  log.ReplayPendingFor(3);
+  EXPECT_EQ(undone, 0);
+
+  EXPECT_TRUE(log.CompensateCommitted().ok());
+  EXPECT_TRUE(compensated);
+  EXPECT_EQ(log.entries(), 0u);
+}
+
+TEST(SideEffectLogTest, CompensateCommittedIsNewestFirstAndStopsOnFailure) {
+  SideEffectLog log;
+  std::vector<int> order;
+  bool fail_newer = true;
+  log.RecordCompensable(4, Kind::kCommittedRewrite, nullptr,
+                        [&order]() -> Status {
+                          order.push_back(1);
+                          return Status::Ok();
+                        });
+  log.RecordCompensable(4, Kind::kCommittedRewrite, nullptr,
+                        [&order, &fail_newer]() -> Status {
+                          if (fail_newer) return Status::TimedOut("busy");
+                          order.push_back(2);
+                          return Status::Ok();
+                        });
+  log.PromoteFor(4);
+
+  // The newest entry fails: it is re-inserted and the older one not run.
+  Status s = log.CompensateCommitted();
+  EXPECT_TRUE(s.IsTimedOut());
+  EXPECT_TRUE(order.empty());
+  EXPECT_EQ(log.entries(), 2u);
+
+  fail_newer = false;
+  EXPECT_TRUE(log.CompensateCommitted().ok());
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+  EXPECT_EQ(log.entries(), 0u);
+}
+
+TEST(SideEffectLogTest, AbortDropsUnpromotedCompensableEntries) {
+  // An abort before commit: the WAL undoes the transaction's own writes,
+  // so the compensable entry's physical reversal must NOT run — replay
+  // drops it (running only its undo closure, when present).
+  SideEffectLog log;
+  bool compensated = false;
+  int undone = 0;
+  log.RecordCompensable(5, Kind::kCommittedCreate, [&undone] { ++undone; },
+                        [&compensated]() -> Status {
+                          compensated = true;
+                          return Status::Ok();
+                        });
+  log.ReplayPendingFor(5);
+  EXPECT_EQ(undone, 1);
+  EXPECT_EQ(log.entries(), 0u);
+  EXPECT_TRUE(log.CompensateCommitted().ok());
+  EXPECT_FALSE(compensated);
+}
+
+TEST(SideEffectLogTest, TakeRolledBackMigrationsReportsReplayedMarkers) {
+  SideEffectLog log;
+  const ObjectId a(1, 64), b(1, 128);
+  log.RecordMigrated(6, a, [] {});
+  log.RecordMigrated(6, b, [] {});
+  EXPECT_TRUE(log.TakeRolledBackMigrations().empty());  // nothing replayed
+
+  log.ReplayPendingFor(6);
+  std::vector<ObjectId> rolled = log.TakeRolledBackMigrations();
+  ASSERT_EQ(rolled.size(), 2u);
+  EXPECT_TRUE((rolled[0] == a && rolled[1] == b) ||
+              (rolled[0] == b && rolled[1] == a));
+  EXPECT_TRUE(log.TakeRolledBackMigrations().empty());  // take clears
+}
+
+TEST(SideEffectLogTest, CompensationCounterCountsReplays) {
+  SideEffectLog log;
+  std::atomic<uint64_t> counter{0};
+  log.set_compensation_counter(&counter);
+  log.Record(8, Kind::kErtAdjust, [] {});
+  log.Record(8, Kind::kErtAdjust, [] {});
+  log.RecordCompensable(8, Kind::kCommittedRewrite, nullptr,
+                        []() -> Status { return Status::Ok(); });
+  log.PromoteFor(9);  // wrong owner: nothing promoted or dropped
+  EXPECT_EQ(log.entries(), 3u);
+  log.ReplayPendingFor(8);  // two undos run; the null-undo entry is
+                            // dropped without counting (nothing ran)
+  EXPECT_TRUE(log.CompensateCommitted().ok());
+  EXPECT_EQ(counter.load(), 2u);
+  EXPECT_EQ(log.replayed(), 2u);
+}
+
+// Integration with the transaction layer: Abort replays the owner's
+// entries after WAL undo but before lock release; Commit promotes.
+TEST(SideEffectLogTest, TransactionAbortReplaysBeforeLockRelease) {
+  Database db(testing::SmallDbOptions(4));
+  SideEffectLog log;
+  auto txn = db.Begin();
+  txn->set_side_effect_log(&log);
+
+  ObjectId oid;
+  ASSERT_TRUE(txn->CreateObject(1, 2, 8, &oid).ok());
+
+  bool lock_held_at_replay = false;
+  bool object_already_undone = false;
+  log.Record(txn->id(), Kind::kErtAdjust,
+             [&db, &lock_held_at_replay, &object_already_undone, oid] {
+               lock_held_at_replay = db.locks().NumLockedObjects() > 0;
+               // WAL undo runs first: the created object is gone by now.
+               object_already_undone = !db.store().Validate(oid);
+             });
+  txn->Abort();
+  EXPECT_TRUE(lock_held_at_replay);
+  EXPECT_TRUE(object_already_undone);
+  EXPECT_EQ(db.locks().NumLockedObjects(), 0u);
+  EXPECT_EQ(log.entries(), 0u);
+}
+
+TEST(SideEffectLogTest, TransactionCommitMakesEffectsPermanent) {
+  Database db(testing::SmallDbOptions(4));
+  SideEffectLog log;
+  auto txn = db.Begin();
+  txn->set_side_effect_log(&log);
+  ObjectId oid;
+  ASSERT_TRUE(txn->CreateObject(1, 2, 8, &oid).ok());
+
+  int undone = 0;
+  log.Record(txn->id(), Kind::kErtAdjust, [&undone] { ++undone; });
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(undone, 0);
+  EXPECT_EQ(log.entries(), 0u);  // pending entries dropped on commit
+  EXPECT_TRUE(db.store().Validate(oid));
+}
+
+}  // namespace
+}  // namespace brahma
