@@ -52,8 +52,13 @@ struct ExperimentConfig {
   // paper's system CPU/I-O overlap). This is the dominant reason the
   // paper's IRA barely dents user throughput: each migration transaction
   // spends most of its life waiting for its commit force, during which
-  // user transactions run. Committers overlap (group-commit style).
-  std::chrono::microseconds flush_latency{800};
+  // user transactions run. The log device is serial (one disk head), so
+  // at high MPL the force queue — not the CPU — caps commit throughput.
+  std::chrono::microseconds flush_latency = kCommitForceLatency;
+  // Group commit across committers (reorg workers + user transactions).
+  // Off = every committer queues a serial force of its own (the classic
+  // no-group-commit discipline) — the bench ablation baseline.
+  bool group_commit = true;
   // Lock-wait timeout for deadlock resolution. The paper used 1 s on a
   // machine where a transaction averaged ~800 ms at MPL 30 — i.e., the
   // timeout was proportionate to a transaction. On hardware where the
@@ -155,6 +160,7 @@ inline ExperimentResult RunExperimentExact(const ExperimentConfig& cfg) {
       std::max<uint64_t>(8ull << 20, cfg.workload.objects_per_partition *
                                          512ull);
   dopt.commit_flush_latency = cfg.flush_latency;
+  dopt.group_commit = cfg.group_commit;
   dopt.log_truncate_threshold = 500000;
   dopt.lock_timeout = cfg.lock_timeout;
   Database db(dopt);

@@ -11,7 +11,13 @@ probability) without any plotting dependency: ASCII charts go to stdout
 figure.
 
 Usage:
-  plot_bench.py [--out-dir DIR] [--svg] [--x KEY] [--y KEY[,KEY...]] file...
+  plot_bench.py [--out-dir DIR] [--svg] [--x KEY] [--y KEY[,KEY...]]
+                [--series KEY] file...
+
+A/B benchmarks (e.g. group commit on/off) emit rows tagged with a mode
+column; --series (auto-detected from the common mode columns) splits the
+rows into one line per mode value, drawn on the same chart with distinct
+markers (ASCII) / colors plus a legend (SVG).
 
 Exits nonzero when no input file yields any row (so CI catches an empty
 or malformed benchmark artifact).
@@ -25,6 +31,13 @@ import sys
 # Sweep keys the benchmarks use, in preference order, for --x detection.
 X_KEY_CANDIDATES = ["mpl", "workers", "group_size", "threads",
                     "objects_per_partition", "update_prob"]
+
+# Mode/ablation keys, in preference order, for --series detection.
+SERIES_KEY_CANDIDATES = ["group_commit", "mode", "scenario"]
+
+ASCII_MARKERS = "*o+x#@"
+SVG_COLORS = ["#1f6feb", "#d1242f", "#1a7f37", "#8250df", "#bf8700",
+              "#57606a"]
 
 ASCII_W = 60
 ASCII_H = 20
@@ -47,18 +60,42 @@ def numeric_keys(rows):
     return keys
 
 
-def pick_x_key(rows, requested):
+def distinct_values(rows, key):
+    return sorted({row[key] for row in rows
+                   if isinstance(row.get(key), (int, float))})
+
+
+def pick_x_key(rows, requested, series_key=None):
     keys = numeric_keys(rows)
     if requested:
         if requested not in keys:
             raise SystemExit(f"--x key {requested!r} not in rows "
                              f"(have: {', '.join(keys)})")
         return requested
+    # Prefer a candidate that actually sweeps (>= 2 distinct values): an
+    # A/B bench may carry a constant mpl column alongside a workers sweep.
     for cand in X_KEY_CANDIDATES:
-        if cand in keys:
+        if cand in keys and cand != series_key and \
+                len(distinct_values(rows, cand)) >= 2:
+            return cand
+    for cand in X_KEY_CANDIDATES:
+        if cand in keys and cand != series_key:
             return cand
     # Fall back to the first column (often the sweep variable anyway).
     return keys[0] if keys else None
+
+
+def pick_series_key(rows, requested):
+    keys = numeric_keys(rows)
+    if requested:
+        if requested not in keys:
+            raise SystemExit(f"--series key {requested!r} not in rows "
+                             f"(have: {', '.join(keys)})")
+        return requested
+    for cand in SERIES_KEY_CANDIDATES:
+        if cand in keys and len(distinct_values(rows, cand)) >= 2:
+            return cand
+    return None
 
 
 def series_for(rows, x_key, y_key):
@@ -71,15 +108,28 @@ def series_for(rows, x_key, y_key):
     return pts
 
 
+def split_series(rows, series_key):
+    """[(label, rows)] — one entry per series value, or one unlabeled."""
+    if series_key is None:
+        return [(None, rows)]
+    out = []
+    for val in distinct_values(rows, series_key):
+        subset = [r for r in rows if r.get(series_key) == val]
+        out.append((f"{series_key}={fmt(float(val))}", subset))
+    return out
+
+
 def fmt(v):
     if v == int(v) and abs(v) < 1e15:
         return str(int(v))
     return f"{v:.4g}"
 
 
-def ascii_chart(title, x_key, y_key, pts):
-    xs = [p[0] for p in pts]
-    ys = [p[1] for p in pts]
+def ascii_chart(title, x_key, y_key, series):
+    """series: [(label_or_None, pts)] — each drawn with its own marker."""
+    all_pts = [p for _, pts in series for p in pts]
+    xs = [p[0] for p in all_pts]
+    ys = [p[1] for p in all_pts]
     x_lo, x_hi = min(xs), max(xs)
     y_lo, y_hi = min(ys), max(ys)
     if x_hi == x_lo:
@@ -93,20 +143,26 @@ def ascii_chart(title, x_key, y_key, pts):
         cy = round((y - y_lo) / (y_hi - y_lo) * (ASCII_H - 1))
         return (ASCII_H - 1) - cy, cx
 
-    # Connect consecutive points with interpolated steps so the line
-    # shape reads even with few sweep points.
-    for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
-        steps = max(abs(cell(x1, y1)[1] - cell(x0, y0)[1]), 1)
-        for i in range(steps + 1):
-            t = i / steps
-            r, c = cell(x0 + (x1 - x0) * t, y0 + (y1 - y0) * t)
-            if grid[r][c] == " ":
-                grid[r][c] = "."
-    for x, y in pts:
-        r, c = cell(x, y)
-        grid[r][c] = "*"
+    for si, (_, pts) in enumerate(series):
+        # Connect consecutive points with interpolated steps so the line
+        # shape reads even with few sweep points.
+        for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+            steps = max(abs(cell(x1, y1)[1] - cell(x0, y0)[1]), 1)
+            for i in range(steps + 1):
+                t = i / steps
+                r, c = cell(x0 + (x1 - x0) * t, y0 + (y1 - y0) * t)
+                if grid[r][c] == " ":
+                    grid[r][c] = "."
+        marker = ASCII_MARKERS[si % len(ASCII_MARKERS)]
+        for x, y in pts:
+            r, c = cell(x, y)
+            grid[r][c] = marker
 
     lines = [f"{title}: {y_key} vs {x_key}"]
+    legend = [f"{ASCII_MARKERS[i % len(ASCII_MARKERS)]} {label}"
+              for i, (label, _) in enumerate(series) if label]
+    if legend:
+        lines.append("  ".join(legend))
     for i, row in enumerate(grid):
         label = ""
         if i == 0:
@@ -119,10 +175,12 @@ def ascii_chart(title, x_key, y_key, pts):
     return "\n".join(lines) + "\n"
 
 
-def svg_chart(title, x_key, y_key, pts):
+def svg_chart(title, x_key, y_key, series):
+    """series: [(label_or_None, pts)] — one colored line per entry."""
     w, h, margin = 480, 300, 50
-    xs = [p[0] for p in pts]
-    ys = [p[1] for p in pts]
+    all_pts = [p for _, pts in series for p in pts]
+    xs = [p[0] for p in all_pts]
+    ys = [p[1] for p in all_pts]
     x_lo, x_hi = min(xs), max(xs)
     y_lo, y_hi = min(ys), max(ys)
     if x_hi == x_lo:
@@ -136,10 +194,23 @@ def svg_chart(title, x_key, y_key, pts):
     def py(y):
         return h - margin - (y - y_lo) / (y_hi - y_lo) * (h - 2 * margin)
 
-    poly = " ".join(f"{px(x):.1f},{py(y):.1f}" for x, y in pts)
-    dots = "".join(
-        f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="3" fill="#1f6feb"/>'
-        for x, y in pts)
+    body = []
+    for si, (label, pts) in enumerate(series):
+        color = SVG_COLORS[si % len(SVG_COLORS)]
+        poly = " ".join(f"{px(x):.1f},{py(y):.1f}" for x, y in pts)
+        body.append(f'<polyline points="{poly}" fill="none" '
+                    f'stroke="{color}" stroke-width="1.5"/>')
+        for x, y in pts:
+            body.append(f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="3" '
+                        f'fill="{color}"/>')
+        if label:
+            ly = margin + 6 + 14 * si
+            body.append(f'<line x1="{w - margin - 90}" y1="{ly}" '
+                        f'x2="{w - margin - 70}" y2="{ly}" '
+                        f'stroke="{color}" stroke-width="2"/>')
+            body.append(f'<text x="{w - margin - 64}" y="{ly + 4}" '
+                        f'font-family="sans-serif" font-size="10">'
+                        f'{label}</text>')
     return f"""<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}">
 <rect width="{w}" height="{h}" fill="white"/>
 <text x="{w / 2}" y="18" text-anchor="middle" font-family="sans-serif"
@@ -156,8 +227,7 @@ def svg_chart(title, x_key, y_key, pts):
  font-family="sans-serif" font-size="11">{fmt(y_lo)}</text>
 <text x="{margin - 4}" y="{margin + 4}" text-anchor="end"
  font-family="sans-serif" font-size="11">{fmt(y_hi)}</text>
-<polyline points="{poly}" fill="none" stroke="#1f6feb" stroke-width="1.5"/>
-{dots}
+{os.linesep.join(body)}
 </svg>
 """
 
@@ -172,6 +242,10 @@ def main():
     ap.add_argument("--y", default=None,
                     help="comma-separated y keys (default: every numeric "
                          "column except the x key)")
+    ap.add_argument("--series", default=None,
+                    help="mode key splitting rows into one line each "
+                         "(auto-detected from "
+                         f"{', '.join(SERIES_KEY_CANDIDATES)})")
     args = ap.parse_args()
 
     if args.out_dir:
@@ -187,19 +261,26 @@ def main():
         if not rows:
             print(f"{path}: no rows", file=sys.stderr)
             continue
-        x_key = pick_x_key(rows, args.x)
+        series_key = pick_series_key(rows, args.series)
+        x_key = pick_x_key(rows, args.x, series_key)
         if x_key is None:
             print(f"{path}: no numeric columns", file=sys.stderr)
             continue
         if args.y:
             y_keys = [k.strip() for k in args.y.split(",") if k.strip()]
         else:
-            y_keys = [k for k in numeric_keys(rows) if k != x_key]
+            y_keys = [k for k in numeric_keys(rows)
+                      if k != x_key and k != series_key]
+        groups = split_series(rows, series_key)
         for y_key in y_keys:
-            pts = series_for(rows, x_key, y_key)
-            if len(pts) < 2:
+            series = []
+            for label, subset in groups:
+                pts = series_for(subset, x_key, y_key)
+                if len(pts) >= 2:
+                    series.append((label, pts))
+            if not series:
                 continue
-            chart = ascii_chart(name, x_key, y_key, pts)
+            chart = ascii_chart(name, x_key, y_key, series)
             print(chart)
             if args.out_dir:
                 base = f"{name}_{y_key}_vs_{x_key}".replace("/", "_")
@@ -208,7 +289,7 @@ def main():
                 if args.svg:
                     with open(os.path.join(args.out_dir, base + ".svg"),
                               "w") as f:
-                        f.write(svg_chart(name, x_key, y_key, pts))
+                        f.write(svg_chart(name, x_key, y_key, series))
             figures += 1
 
     if figures == 0:

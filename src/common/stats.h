@@ -53,6 +53,20 @@ struct ReorgStats {
   // decisions can watch these the same way they watch lock_timeouts.
   std::atomic<uint64_t> aborts_rolled_back{0};
   std::atomic<uint64_t> side_effects_compensated{0};
+  // Group commit (delta of the shared LogManager counters over this run,
+  // like faults_injected: concurrent user commits that batched with reorg
+  // forces are attributed to the run they overlapped): batches = elected
+  // flushers that performed a device force; forces_absorbed = committers
+  // whose durability was covered by another committer's force.
+  std::atomic<uint64_t> group_commit_batches{0};
+  std::atomic<uint64_t> forces_absorbed{0};
+  // Claim-aware pipeline scheduling: deferred migrations woken exactly by
+  // the release of the footprint claim that blocked them (vs the blind
+  // retry timer when claim wakeup is disabled).
+  std::atomic<uint64_t> claim_wakeups{0};
+  // Adaptive worker controller: park/unpark decisions taken mid-run.
+  std::atomic<uint64_t> workers_shed{0};
+  std::atomic<uint64_t> workers_added{0};
   // Failpoint triggers observed during this run (delta of the global
   // trigger counter; attributes concurrent-mutator triggers to the run
   // they overlapped, which is what fault-injection reports want).
@@ -78,6 +92,11 @@ struct ReorgStats {
     claim_deferrals.store(other.claim_deferrals.load());
     aborts_rolled_back.store(other.aborts_rolled_back.load());
     side_effects_compensated.store(other.side_effects_compensated.load());
+    group_commit_batches.store(other.group_commit_batches.load());
+    forces_absorbed.store(other.forces_absorbed.load());
+    claim_wakeups.store(other.claim_wakeups.load());
+    workers_shed.store(other.workers_shed.load());
+    workers_added.store(other.workers_added.load());
     faults_injected.store(other.faults_injected.load());
     duration_ms = other.duration_ms;
     std::scoped_lock l(relocation_mu_, other.relocation_mu_);

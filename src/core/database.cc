@@ -10,6 +10,7 @@ Database::Database(const DatabaseOptions& options) : options_(options) {
   store_ = std::make_unique<ObjectStore>(options.num_data_partitions,
                                          options.partition_capacity);
   log_ = std::make_unique<LogManager>(options.commit_flush_latency);
+  log_->set_group_commit(options.group_commit);
   locks_ = std::make_unique<LockManager>();
   locks_->set_history_enabled(options.enable_lock_history);
   erts_ = std::make_unique<ErtSet>(store_->num_partitions());

@@ -28,8 +28,15 @@ struct DatabaseOptions {
   uint64_t partition_capacity = 8ull << 20;
 
   // Commit-time log force latency (models the disk I/O the paper's
-  // systems pay at commit; 0 disables the wait).
+  // systems pay at commit; 0 disables the wait). Benches use
+  // kCommitForceLatency from common/params.h.
   std::chrono::microseconds commit_flush_latency{0};
+
+  // Group commit: concurrent committers batch on a shared force — one
+  // elected flusher forces to the highest requested LSN and the rest are
+  // absorbed. Off = every committer pays its own (overlapping) force,
+  // the pre-group-commit model.
+  bool group_commit = true;
 
   // Lock-wait timeout for deadlock resolution (1 s in the paper; see
   // common/params.h for the shared defaults).

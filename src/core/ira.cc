@@ -1,8 +1,6 @@
 #include "core/ira.h"
 
 #include <algorithm>
-#include <condition_variable>
-#include <deque>
 #include <memory>
 #include <string>
 #include <thread>
@@ -10,6 +8,7 @@
 #include "common/clock.h"
 #include "common/failpoint.h"
 #include "core/fuzzy_traversal.h"
+#include "core/migration_pipe.h"
 
 namespace brahma {
 
@@ -39,189 +38,6 @@ Cleanup<F> MakeCleanup(F fn) {
 
 }  // namespace
 
-// Work queue plus checkpoint barrier shared by the N migrator workers of
-// the parallel pipeline. Objects enter in planner order; a worker that
-// loses a lock race requeues its object with a backoff deadline instead
-// of blocking, so siblings steal the ready work in the meantime.
-class MigrationPipe {
- public:
-  struct Item {
-    ObjectId oid;
-    uint32_t attempt = 0;
-  };
-
-  enum class Next { kItem, kBarrier, kDrained, kStopped };
-
-  MigrationPipe(const std::vector<ObjectId>& objects, uint32_t workers,
-                uint32_t checkpoint_every)
-      : active_(workers), next_ckpt_at_(checkpoint_every) {
-    for (ObjectId oid : objects) ready_.push_back(Item{oid, 0});
-  }
-
-  Next Pop(Item* out) {
-    std::unique_lock<std::mutex> l(mu_);
-    for (;;) {
-      if (stopped_) return Next::kStopped;
-      if (ckpt_requested_) return Next::kBarrier;
-      if (!ready_.empty()) {
-        *out = ready_.front();
-        ready_.pop_front();
-        ++in_flight_;
-        return Next::kItem;
-      }
-      // Promote deferred items whose backoff elapsed.
-      const auto now = std::chrono::steady_clock::now();
-      bool promoted = false;
-      for (size_t i = 0; i < deferred_.size();) {
-        if (deferred_[i].ready_at <= now) {
-          ready_.push_back(Item{deferred_[i].oid, deferred_[i].attempt});
-          deferred_[i] = deferred_.back();
-          deferred_.pop_back();
-          promoted = true;
-        } else {
-          ++i;
-        }
-      }
-      if (promoted) continue;
-      if (deferred_.empty()) {
-        if (in_flight_ == 0) return Next::kDrained;
-        cv_.wait(l);
-      } else {
-        auto earliest = deferred_.front().ready_at;
-        for (const Deferred& d : deferred_) {
-          earliest = std::min(earliest, d.ready_at);
-        }
-        cv_.wait_until(l, earliest);
-      }
-    }
-  }
-
-  // The popped item migrated (or was skipped): it leaves the pipe.
-  void Done() {
-    std::lock_guard<std::mutex> l(mu_);
-    --in_flight_;
-    cv_.notify_all();
-  }
-
-  // The popped item lost a lock race: it re-enters the pipe after the
-  // backoff delay. The worker holds no locks while the item waits.
-  void Requeue(ObjectId oid, uint32_t attempt,
-               std::chrono::milliseconds delay) {
-    std::lock_guard<std::mutex> l(mu_);
-    --in_flight_;
-    deferred_.push_back(
-        Deferred{oid, attempt, std::chrono::steady_clock::now() + delay});
-    cv_.notify_all();
-  }
-
-  // Re-injects an object that already left the pipe (Done() was called
-  // for it) but whose migration was rolled back afterwards — a group
-  // abort undoes every migration in the group, including ones whose items
-  // completed earlier. Unlike Requeue this does not balance a Pop, so
-  // in_flight_ is untouched.
-  void Reinject(ObjectId oid, uint32_t attempt,
-                std::chrono::milliseconds delay) {
-    std::lock_guard<std::mutex> l(mu_);
-    deferred_.push_back(
-        Deferred{oid, attempt, std::chrono::steady_clock::now() + delay});
-    cv_.notify_all();
-  }
-
-  // First failure wins, except a simulated crash always wins: a crashed
-  // run must surface as crashed no matter what the other workers hit
-  // while the pipeline unwound.
-  void Stop(Status s) {
-    std::lock_guard<std::mutex> l(mu_);
-    if (!stopped_) {
-      result_ = s;
-    } else if (s.IsCrashed() && !result_.IsCrashed()) {
-      result_ = s;
-    }
-    stopped_ = true;
-    cv_.notify_all();
-  }
-
-  bool stopped() {
-    std::lock_guard<std::mutex> l(mu_);
-    return stopped_;
-  }
-
-  Status result() {
-    std::lock_guard<std::mutex> l(mu_);
-    return stopped_ ? result_ : Status::Ok();
-  }
-
-  bool CheckpointDue(uint64_t migrated_now) {
-    std::lock_guard<std::mutex> l(mu_);
-    return next_ckpt_at_ != 0 && migrated_now >= next_ckpt_at_;
-  }
-
-  void RequestCheckpoint() {
-    std::lock_guard<std::mutex> l(mu_);
-    ckpt_requested_ = true;
-    cv_.notify_all();
-  }
-
-  // Checkpoint rendezvous. Every worker that sees kBarrier commits its
-  // open group, then arrives here. Once all active workers have paused,
-  // exactly one is elected cutter (returns true) and snapshots the
-  // checkpoint while the others stay parked; the cutter then calls
-  // BarrierCut to release them.
-  bool ArriveBarrier() {
-    std::unique_lock<std::mutex> l(mu_);
-    if (!ckpt_requested_ || stopped_) return false;
-    ++paused_;
-    cv_.notify_all();
-    cv_.wait(l, [&] {
-      return !ckpt_requested_ || stopped_ ||
-             (paused_ == active_ && !cutter_elected_);
-    });
-    if (ckpt_requested_ && !stopped_ && paused_ == active_ &&
-        !cutter_elected_) {
-      cutter_elected_ = true;
-      return true;  // cutter keeps its paused slot until BarrierCut
-    }
-    --paused_;
-    cv_.notify_all();
-    return false;
-  }
-
-  void BarrierCut(uint64_t next_target) {
-    std::lock_guard<std::mutex> l(mu_);
-    ckpt_requested_ = false;
-    cutter_elected_ = false;
-    next_ckpt_at_ = next_target;
-    --paused_;
-    cv_.notify_all();
-  }
-
-  void WorkerExit() {
-    std::lock_guard<std::mutex> l(mu_);
-    --active_;
-    cv_.notify_all();
-  }
-
- private:
-  struct Deferred {
-    ObjectId oid;
-    uint32_t attempt;
-    std::chrono::steady_clock::time_point ready_at;
-  };
-
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Item> ready_;
-  std::vector<Deferred> deferred_;
-  uint32_t in_flight_ = 0;
-  uint32_t active_;
-  uint32_t paused_ = 0;
-  bool ckpt_requested_ = false;
-  bool cutter_elected_ = false;
-  bool stopped_ = false;
-  Status result_ = Status::Ok();
-  uint64_t next_ckpt_at_;
-};
-
 Status IraReorganizer::Run(PartitionId p, RelocationPlanner* planner,
                            const IraOptions& options, ReorgStats* stats) {
   if (options.wait_for_historical_lockers && !ctx_.locks->history_enabled()) {
@@ -230,6 +46,9 @@ Status IraReorganizer::Run(PartitionId p, RelocationPlanner* planner,
   }
   Stopwatch sw;
   const uint64_t faults_before = FailPoints::Instance().total_triggered();
+  const uint64_t gc_batches_before = ctx_.log->group_commit_batches();
+  const uint64_t gc_absorbed_before =
+      ctx_.log->group_commit_forces_absorbed();
 
   // Start collecting pointer inserts/deletes for the partition. Sync
   // first so pre-reorganization history (already reflected in the graph
@@ -269,6 +88,12 @@ Status IraReorganizer::Run(PartitionId p, RelocationPlanner* planner,
   stats->duration_ms = sw.ElapsedMillis();
   stats->faults_injected +=
       FailPoints::Instance().total_triggered() - faults_before;
+  // Deltas of the shared log counters: user commits that batched with
+  // the reorg's forces are attributed to the run they overlapped.
+  stats->group_commit_batches +=
+      ctx_.log->group_commit_batches() - gc_batches_before;
+  stats->forces_absorbed +=
+      ctx_.log->group_commit_forces_absorbed() - gc_absorbed_before;
   return result;
 }
 
@@ -284,6 +109,9 @@ Status IraReorganizer::Resume(const ReorgCheckpoint& checkpoint,
   }
   Stopwatch sw;
   const uint64_t faults_before = FailPoints::Instance().total_triggered();
+  const uint64_t gc_batches_before = ctx_.log->group_commit_batches();
+  const uint64_t gc_absorbed_before =
+      ctx_.log->group_commit_forces_absorbed();
   const PartitionId p = checkpoint.partition;
   const bool strict = ctx_.txns->ctx().strict_2pl;
 
@@ -352,6 +180,10 @@ Status IraReorganizer::Resume(const ReorgCheckpoint& checkpoint,
   stats->duration_ms = sw.ElapsedMillis();
   stats->faults_injected +=
       FailPoints::Instance().total_triggered() - faults_before;
+  stats->group_commit_batches +=
+      ctx_.log->group_commit_batches() - gc_batches_before;
+  stats->forces_absorbed +=
+      ctx_.log->group_commit_forces_absorbed() - gc_absorbed_before;
   return result;
 }
 
@@ -433,9 +265,16 @@ Status IraReorganizer::MigrateParallel(
     const std::unordered_set<ObjectId>& traversed,
     const std::vector<ObjectId>& objects, MigratedSet* migrated,
     ParentLists* plists, ReorgStats* stats) {
-  MigrationPipe pipe(
-      objects, options.num_workers,
-      options.checkpoint_sink != nullptr ? options.checkpoint_every : 0);
+  MigrationPipe::Options popt;
+  popt.workers = options.num_workers;
+  popt.checkpoint_every =
+      options.checkpoint_sink != nullptr ? options.checkpoint_every : 0;
+  popt.adaptive = options.adaptive_workers;
+  MigrationPipe pipe(objects, popt);
+  if (options.claim_wakeup) {
+    std::lock_guard<std::mutex> g(claims_mu_);
+    wake_pipe_ = &pipe;
+  }
   std::vector<std::thread> workers;
   workers.reserve(options.num_workers);
   for (uint32_t i = 0; i < options.num_workers; ++i) {
@@ -445,6 +284,15 @@ Status IraReorganizer::MigrateParallel(
     });
   }
   for (std::thread& t : workers) t.join();
+  {
+    std::lock_guard<std::mutex> g(claims_mu_);
+    wake_pipe_ = nullptr;
+  }
+  // Pipe-local scheduling counters fold into the run's stats after the
+  // join (the pipe dies with this frame).
+  stats->claim_wakeups += pipe.claim_wakeups();
+  stats->workers_shed += pipe.workers_shed();
+  stats->workers_added += pipe.workers_added();
   return pipe.result();
 }
 
@@ -455,17 +303,43 @@ void IraReorganizer::WorkerMain(MigrationPipe* pipe, PartitionId p,
                                 MigratedSet* migrated, ParentLists* plists,
                                 ReorgStats* stats) {
   MigratorState ws;
+  // Commits the open group outside the per-item migration path (barrier,
+  // timed-out lock race, drain). A *clean* commit failure — an injected
+  // abort at a commit site — already rolled the whole group back in
+  // CloseGroup, so the undone migrations re-enter the pipe and the run
+  // keeps going; only crashes and non-abort errors halt the pipeline.
+  // Which CloseGroup a scheduled abort lands on is timing-dependent, so
+  // every commit site must survive it, not just the group-size boundary.
+  auto commit_open_group = [&](bool* reinjected = nullptr) -> Status {
+    Status cs = CloseGroup(&ws, Status::Ok(), stats);
+    if (!cs.IsAborted()) return cs;
+    for (ObjectId o : ws.side_effects.TakeRolledBackMigrations()) {
+      pipe->Reinject(o, 0, std::chrono::milliseconds(0));
+      if (reinjected != nullptr) *reinjected = true;
+    }
+    return Status::Ok();
+  };
   for (;;) {
     MigrationPipe::Item item;
     const MigrationPipe::Next next = pipe->Pop(&item);
-    if (next == MigrationPipe::Next::kDrained ||
-        next == MigrationPipe::Next::kStopped) {
-      break;
+    if (next == MigrationPipe::Next::kStopped) break;
+    if (next == MigrationPipe::Next::kDrained) {
+      // Commit the final group before leaving. If that commit aborted,
+      // the rolled-back migrations re-entered the pipe and "drained" was
+      // premature — keep popping.
+      bool reinjected = false;
+      Status cs = commit_open_group(&reinjected);
+      if (!cs.ok()) {
+        pipe->Stop(cs);
+        break;
+      }
+      if (!reinjected) break;
+      continue;
     }
     if (next == MigrationPipe::Next::kBarrier) {
       // Commit the open group first so the checkpoint only ever covers
       // committed migrations, then rendezvous with the other workers.
-      Status cs = CloseGroup(&ws, Status::Ok());
+      Status cs = commit_open_group();
       if (!cs.ok()) {
         pipe->Stop(cs);
         continue;  // next Pop returns kStopped
@@ -484,26 +358,35 @@ void IraReorganizer::WorkerMain(MigrationPipe* pipe, PartitionId p,
       pipe->Done();
       continue;
     }
+    ObjectId busy_blocker = ObjectId::Invalid();
     Status s = options.two_lock_mode
                    ? MigrateTwoLock(item.oid, p, planner, options,
                                     /*defer_on_conflict=*/true, migrated,
-                                    plists, stats)
+                                    plists, stats, &busy_blocker)
                    : MigrateBasic(item.oid, p, planner, options, &ws,
                                   /*defer_on_conflict=*/true, migrated,
-                                  plists, stats);
+                                  plists, stats, &busy_blocker);
     if (s.IsBusy()) {
       // Footprint overlap with a sibling's in-flight migration. No lock
-      // wait was burned and no lock is held for this object — requeue it
-      // with a short constant delay (no retry charge: deferral is flow
-      // control, not contention) and move on to a disjoint item.
-      pipe->Requeue(item.oid, item.attempt, std::chrono::milliseconds(1));
+      // wait was burned and no lock is held for this object (no retry
+      // charge: deferral is flow control, not contention). Claim-aware
+      // mode parks the item under the blocking claim — ReleaseFootprint
+      // wakes exactly these waiters; the ablation mode falls back to the
+      // blind constant-delay retry timer. Either way this worker moves
+      // on to a disjoint item.
+      pipe->NoteDeferral();
+      if (options.claim_wakeup && busy_blocker.valid()) {
+        DeferOnClaim(pipe, busy_blocker, item.oid, item.attempt);
+      } else {
+        pipe->Requeue(item.oid, item.attempt, kMigrationRequeueDelay);
+      }
       continue;
     }
     if (s.IsTimedOut()) {
       // Lost a lock race — to a sibling worker or a user transaction.
       // Commit the open group so this worker retains no locks while the
       // object waits out its backoff, then requeue it.
-      Status cs = CloseGroup(&ws, Status::Ok());
+      Status cs = commit_open_group();
       if (!cs.ok()) {
         pipe->Stop(cs);
         pipe->Done();
@@ -569,6 +452,7 @@ void IraReorganizer::WorkerMain(MigrationPipe* pipe, PartitionId p,
       continue;
     }
     pipe->Done();
+    pipe->NoteMigrated();
     if (options.checkpoint_sink != nullptr && options.checkpoint_every > 0 &&
         pipe->CheckpointDue(stats->objects_migrated)) {
       pipe->RequestCheckpoint();
@@ -583,8 +467,13 @@ void IraReorganizer::WorkerMain(MigrationPipe* pipe, PartitionId p,
       ws.group_txn.reset();
     }
   } else {
-    Status cs = CloseGroup(&ws, Status::Ok());
-    if (!cs.ok()) pipe->Stop(cs);
+    // Stopped exits (degraded, retry-exhausted, sibling failure): commit
+    // the open group to keep finished migrations durable. A clean commit
+    // abort here was already rolled back by CloseGroup — the run's first
+    // failure stays the result (crash-wins aside), and the undone
+    // migrations are simply left for the follow-up run or Resume.
+    Status cs = CloseGroup(&ws, Status::Ok(), stats);
+    if (!cs.ok() && !cs.IsAborted()) pipe->Stop(cs);
   }
   pipe->WorkerExit();
 }
@@ -710,10 +599,10 @@ void IraReorganizer::WaitForHistoricalLockers(ObjectId oid, Transaction* txn) {
 }
 
 bool IraReorganizer::TryClaimFootprint(ObjectId oid,
-                                       const std::vector<ObjectId>& parents) {
+                                       const std::vector<ObjectId>& parents,
+                                       ObjectId* blocker) {
   std::lock_guard<std::mutex> g(claims_mu_);
   for (const auto& [anchor, footprint] : claims_) {
-    (void)anchor;
     // Conflict when the footprints intersect at all. The traversal feeds
     // workers cluster-ordered objects, so adjacent queue items are
     // siblings sharing a tree parent: letting both proceed would make
@@ -722,9 +611,13 @@ bool IraReorganizer::TryClaimFootprint(ObjectId oid,
     // map probe; the deferring worker skips ahead to a disjoint subtree.
     // Disjoint footprints also make worker-worker deadlock structurally
     // impossible — no two in-flight migrations ever want the same lock.
-    if (footprint.count(oid) > 0) return false;
-    for (ObjectId r : parents) {
-      if (footprint.count(r) > 0) return false;
+    bool conflict = footprint.count(oid) > 0;
+    for (size_t i = 0; !conflict && i < parents.size(); ++i) {
+      conflict = footprint.count(parents[i]) > 0;
+    }
+    if (conflict) {
+      if (blocker != nullptr) *blocker = anchor;
+      return false;
     }
   }
   auto& fp = claims_[oid];
@@ -736,6 +629,23 @@ bool IraReorganizer::TryClaimFootprint(ObjectId oid,
 void IraReorganizer::ReleaseFootprint(ObjectId oid) {
   std::lock_guard<std::mutex> g(claims_mu_);
   claims_.erase(oid);
+  // Wake exactly the items this claim deferred — under the same mutex
+  // the park was registered under, so no waiter can be stranded between
+  // a failed claim and this release.
+  if (wake_pipe_ != nullptr) wake_pipe_->OnClaimReleased(oid);
+}
+
+void IraReorganizer::DeferOnClaim(MigrationPipe* pipe, ObjectId blocker,
+                                  ObjectId oid, uint32_t attempt) {
+  std::lock_guard<std::mutex> g(claims_mu_);
+  if (claims_.count(blocker) > 0) {
+    pipe->ParkOnClaim(blocker, oid, attempt);
+  } else {
+    // The blocker released between the failed claim and here — its
+    // wakeup already happened, so parking would strand the item. It is
+    // ready right now.
+    pipe->Requeue(oid, attempt, std::chrono::milliseconds(0));
+  }
 }
 
 Status IraReorganizer::FindExactParents(ObjectId oid, Transaction* txn,
@@ -837,13 +747,13 @@ Status IraReorganizer::MigrateBasic(ObjectId oid, PartitionId p,
                                     const IraOptions& options,
                                     MigratorState* ws, bool defer_on_conflict,
                                     MigratedSet* migrated, ParentLists* plists,
-                                    ReorgStats* stats) {
+                                    ReorgStats* stats, ObjectId* busy_blocker) {
   bool claimed = false;
   auto release_claim = MakeCleanup([&] {
     if (claimed) ReleaseFootprint(oid);
   });
   if (defer_on_conflict) {
-    if (!TryClaimFootprint(oid, plists->Get(oid))) {
+    if (!TryClaimFootprint(oid, plists->Get(oid), busy_blocker)) {
       ++stats->claim_deferrals;
       return Status::Busy("deferred: conflicting migration footprint at " +
                           oid.ToString());
@@ -972,7 +882,8 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
                                       const IraOptions& options,
                                       bool defer_on_conflict,
                                       MigratedSet* migrated,
-                                      ParentLists* plists, ReorgStats* stats) {
+                                      ParentLists* plists, ReorgStats* stats,
+                                      ObjectId* busy_blocker) {
   bool claimed = false;
   auto release_claim = MakeCleanup([&] {
     if (claimed) ReleaseFootprint(oid);
@@ -982,7 +893,7 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
     // so overlapping in-flight migrations could wait on each other
     // forever (or at best serialize on a shared parent). A footprint
     // conflict defers instantly instead of burning a lock wait.
-    if (!TryClaimFootprint(oid, plists->Get(oid))) {
+    if (!TryClaimFootprint(oid, plists->Get(oid), busy_blocker)) {
       ++stats->claim_deferrals;
       return Status::Busy("deferred: conflicting migration footprint at " +
                           oid.ToString());

@@ -84,6 +84,19 @@ struct IraOptions {
   // Checkpoints are taken at a barrier so they snapshot a consistent
   // prefix (no worker is mid-group while the snapshot is cut).
   uint32_t num_workers = 1;
+
+  // Claim-aware wakeup (parallel pipeline): a migration deferred by a
+  // footprint conflict parks under the blocking claim and is woken the
+  // instant ReleaseFootprint drops that claim, instead of polling on the
+  // blind kMigrationRequeueDelay timer. Off = the PR 2 retry-timer
+  // behavior (kept as a bench ablation knob).
+  bool claim_wakeup = true;
+
+  // Adaptive worker control (parallel pipeline): shed a worker when the
+  // windowed claim_deferrals : objects_migrated ratio says the remaining
+  // clusters are too entangled to parallelize, add one back when
+  // deferrals fade. Thresholds come from params.h (kAdaptive*).
+  bool adaptive_workers = false;
 };
 
 // The Incremental Reorganization Algorithm (paper Section 3): migrates
@@ -206,16 +219,21 @@ class IraReorganizer {
   // defer_on_conflict (parallel pipeline): a lock timeout returns
   // Status::TimedOut immediately — with every lock taken for this object
   // released and the open group committed — instead of retrying
-  // internally, so the caller can requeue the object with backoff.
+  // internally, so the caller can requeue the object with backoff. A
+  // footprint conflict returns Status::Busy with *busy_blocker naming
+  // the anchor of the claim that blocked it (when non-null), so the
+  // pipeline can park the item under exactly that claim.
   Status MigrateBasic(ObjectId oid, PartitionId p, RelocationPlanner* planner,
                       const IraOptions& options, MigratorState* ws,
                       bool defer_on_conflict, MigratedSet* migrated,
-                      ParentLists* plists, ReorgStats* stats);
+                      ParentLists* plists, ReorgStats* stats,
+                      ObjectId* busy_blocker = nullptr);
 
   Status MigrateTwoLock(ObjectId oid, PartitionId p,
                         RelocationPlanner* planner, const IraOptions& options,
                         bool defer_on_conflict, MigratedSet* migrated,
-                        ParentLists* plists, ReorgStats* stats);
+                        ParentLists* plists, ReorgStats* stats,
+                        ObjectId* busy_blocker = nullptr);
 
   // Parallel deadlock/livelock avoidance: a migration claims its anchor
   // and its initial parent snapshot before taking any lock; two claims
@@ -224,10 +242,21 @@ class IraReorganizer {
   // worker-worker deadlock, and cluster siblings (which share a tree
   // parent, and are adjacent in the traversal-ordered queue) defer
   // instead of serializing on the shared parent for a full migration
-  // apiece. The loser returns Busy without claiming; the pipeline
-  // requeues it with a short constant delay and no retry charge.
-  bool TryClaimFootprint(ObjectId oid, const std::vector<ObjectId>& parents);
+  // apiece. The loser returns false with *blocker naming the conflicting
+  // claim's anchor (when non-null); the pipeline parks the object under
+  // that claim (claim_wakeup) or requeues it with a short constant delay
+  // (ablation mode) — either way, no retry charge.
+  bool TryClaimFootprint(ObjectId oid, const std::vector<ObjectId>& parents,
+                         ObjectId* blocker = nullptr);
   void ReleaseFootprint(ObjectId oid);
+
+  // Registers a Busy-deferred item with the pipe. Parks it under its
+  // blocking claim when that claim is still outstanding — checked and
+  // registered under claims_mu_, so ReleaseFootprint (same mutex) cannot
+  // slip between the check and the park and strand the item. If the
+  // blocker already released, the item is requeued ready immediately.
+  void DeferOnClaim(MigrationPipe* pipe, ObjectId blocker, ObjectId oid,
+                    uint32_t attempt);
 
   Status SweepGarbage(PartitionId p,
                       const std::unordered_set<ObjectId>& traversed,
@@ -247,6 +276,11 @@ class IraReorganizer {
   // Active two-lock footprint claims: anchor -> {anchor} ∪ parents.
   std::mutex claims_mu_;
   std::unordered_map<ObjectId, std::unordered_set<ObjectId>> claims_;
+  // Pipe to notify when a claim drops (claim-aware wakeup). Set by
+  // MigrateParallel for the run's duration; guarded by claims_mu_. Lock
+  // order is strictly claims_mu_ -> pipe mutex (the pipe never calls
+  // back into the reorganizer), so release-and-wake is race-free.
+  MigrationPipe* wake_pipe_ = nullptr;
 };
 
 }  // namespace brahma

@@ -216,7 +216,12 @@ Status Transaction::Commit() {
   BRAHMA_FAILPOINT(source_ == LogSource::kReorg
                        ? "txn:reorg-commit:before-flush"
                        : "txn:commit:before-flush");
-  ctx_.log->Flush(lsn);
+  // Group-commit force: may batch with concurrent committers. A crash
+  // injected between the device force and the durability acknowledgement
+  // propagates here — the transaction is NOT committed (recovery decides
+  // its fate from the stable log) and the caller abandons it.
+  Status fs = ctx_.log->ForceCommit(lsn);
+  if (!fs.ok()) return fs;
   state_ = State::kCommitted;
   // Side effects become permanent with the transaction: pending entries
   // are dropped, compensable ones kept for a later committed reversal.

@@ -23,23 +23,73 @@ Lsn LogManager::Append(LogRecord record) {
 void LogManager::Flush(Lsn target) {
   // Delay-only site: a slow force at commit time (group-commit stall).
   BRAHMA_FAILPOINT_HIT("wal:flush");
-  Lsn capped;
-  {
-    std::unique_lock<std::mutex> l(mu_);
-    capped = std::min(target, next_lsn_ - 1);
-    if (capped <= stable_lsn_) return;  // already durable
-  }
+  std::unique_lock<std::mutex> l(mu_);
+  const Lsn capped = std::min(target, next_lsn_ - 1);
+  if (capped <= stable_lsn_) return;  // already durable when requested
+  // The log device is one disk head: forces serialize, and without group
+  // commit they do NOT coalesce — every committer that found its records
+  // unstable pays a full force of its own, strictly FIFO, even if a
+  // force that lands while it queues happens to cover its LSN. That is
+  // the classic one-I/O-per-commit discipline group commit was invented
+  // to fix (and the one the daemon in ForceCommit batches away): under
+  // it the force queue, not the migration work, gates commit throughput.
+  while (force_in_progress_) force_cv_.wait(l);
+  force_in_progress_ = true;
+  l.unlock();
   // Pay the device latency *before* the records become stable: a commit
   // must not observe durability until the modeled force completes.
-  // Concurrent committers still overlap group-commit style (the sleep is
-  // outside the mutex), and whoever finishes advances the high-water mark.
   if (flush_latency_.count() > 0) {
     std::this_thread::sleep_for(flush_latency_);
   }
-  {
-    std::unique_lock<std::mutex> l(mu_);
-    stable_lsn_ = std::max(stable_lsn_, capped);
+  l.lock();
+  force_in_progress_ = false;
+  stable_lsn_ = std::max(stable_lsn_, capped);
+  force_cv_.notify_all();
+}
+
+Status LogManager::ForceCommit(Lsn target) {
+  if (!group_commit_) {
+    // Ablation / legacy mode: every committer queues for a serial force
+    // of its own. Flush hits the "wal:flush" delay site itself.
+    Flush(target);
+    return Status::Ok();
   }
+  // Same delay-only site as Flush — a stalled device stalls the batch.
+  BRAHMA_FAILPOINT_HIT("wal:flush");
+  std::unique_lock<std::mutex> l(mu_);
+  Lsn capped = std::min(target, next_lsn_ - 1);
+  if (capped <= stable_lsn_) return Status::Ok();  // already durable
+  requested_max_ = std::max(requested_max_, capped);
+  // If a force is already in flight we cannot ride it — the device write
+  // may have started before our records were appended. Wait for it to
+  // finish; if its batch covered us (it grabbed requested_max_ after our
+  // update above), we are absorbed and never touch the device.
+  while (force_in_progress_) {
+    force_cv_.wait(l);
+    if (capped <= stable_lsn_) {
+      gc_absorbed_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Ok();
+    }
+  }
+  // Elected flusher: force the whole batch accumulated so far.
+  force_in_progress_ = true;
+  const Lsn batch_target = requested_max_;
+  gc_batches_.fetch_add(1, std::memory_order_relaxed);
+  l.unlock();
+  // Device force, paid outside the mutex (appends continue meanwhile).
+  if (flush_latency_.count() > 0) {
+    std::this_thread::sleep_for(flush_latency_);
+  }
+  // Crash window between the device force and the durability
+  // acknowledgement: records may be on disk but stable_lsn_ never
+  // advances, so neither the flusher nor any absorbed waiter may treat
+  // its transaction as committed.
+  Status fp = failpoint::Check("wal:group-commit:after-force");
+  l.lock();
+  force_in_progress_ = false;  // cleared even on crash: waiters re-elect
+  if (fp.ok()) stable_lsn_ = std::max(stable_lsn_, batch_target);
+  force_cv_.notify_all();
+  return fp;
 }
 
 Lsn LogManager::last_lsn() const {

@@ -1,6 +1,7 @@
 #ifndef BRAHMA_WAL_LOG_MANAGER_H_
 #define BRAHMA_WAL_LOG_MANAGER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -36,11 +37,43 @@ class LogManager {
   // is installed it runs synchronously under the log mutex.
   Lsn Append(LogRecord record);
 
-  // Forces all records with lsn <= target to the stable log. The
-  // simulated flush latency is paid outside the mutex (committers
-  // overlap like a group commit would) and *before* stable_lsn_
-  // advances: durability is only observable once the force completes.
+  // Forces all records with lsn <= target to the stable log. The log
+  // device is serial (one disk head): at most one force is in flight,
+  // and without group commit each committer queues for a full force of
+  // its own with no coalescing — the classic one-I/O-per-commit
+  // discipline. The simulated latency is paid before stable_lsn_ advances:
+  // durability is only observable once the force completes.
   void Flush(Lsn target);
+
+  // Commit-time force with group commit. When group commit is enabled
+  // (the default in Database), concurrent committers enqueue on a shared
+  // batch: one is elected flusher and performs a single device force to
+  // the highest LSN requested so far; the rest sleep on the batch and
+  // are absorbed — they observe durability without paying a force of
+  // their own. When disabled this degrades to Flush (each committer
+  // pays its own overlapping force), which is the pre-group-commit
+  // model and the bench ablation baseline.
+  //
+  // Returns non-OK only when the "wal:group-commit:after-force" crash
+  // failpoint fires in the window between the device force and the
+  // stable_lsn_ advance: the records were (maybe) written but durability
+  // was never acknowledged, so the committer must NOT treat the
+  // transaction as committed. Absorbed waiters of a crashed flusher are
+  // woken and re-elect (or crash out themselves if the site is armed
+  // unlimited) — no waiter ever observes durability before a force
+  // actually completed and advanced stable_lsn_.
+  Status ForceCommit(Lsn target);
+
+  void set_group_commit(bool on) { group_commit_ = on; }
+  bool group_commit() const { return group_commit_; }
+
+  // Group-commit accounting (monotone; readers take deltas per run).
+  uint64_t group_commit_batches() const {
+    return gc_batches_.load(std::memory_order_relaxed);
+  }
+  uint64_t group_commit_forces_absorbed() const {
+    return gc_absorbed_.load(std::memory_order_relaxed);
+  }
 
   Lsn last_lsn() const;
   Lsn stable_lsn() const;
@@ -84,6 +117,18 @@ class LogManager {
   Lsn stable_lsn_ = 0;
   std::chrono::microseconds flush_latency_;
   std::function<void(const LogRecord&)> observer_;
+
+  // Serial-device and group-commit daemon state (all under mu_).
+  // force_in_progress_ models the device's exclusivity for Flush and
+  // ForceCommit alike; with group commit on, later committers fold
+  // their target into requested_max_ and wait on force_cv_ instead of
+  // queueing a force of their own.
+  bool group_commit_ = false;
+  bool force_in_progress_ = false;
+  Lsn requested_max_ = 0;
+  std::condition_variable force_cv_;
+  std::atomic<uint64_t> gc_batches_{0};
+  std::atomic<uint64_t> gc_absorbed_{0};
 };
 
 }  // namespace brahma

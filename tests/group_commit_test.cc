@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "core/database.h"
+#include "tests/test_util.h"
+#include "wal/log_manager.h"
+
+namespace brahma {
+namespace {
+
+// Group-commit daemon semantics: batching/absorption mechanics on a bare
+// LogManager, then the durability ordering on a full Database — no
+// committer (flusher or absorbed waiter) may observe durability before a
+// force actually completed and advanced the stable LSN.
+class GroupCommitTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailPoints::Instance().Reset(); }
+};
+
+LogRecord MakeRecord() {
+  LogRecord r;
+  r.type = LogRecordType::kCommit;
+  return r;
+}
+
+TEST_F(GroupCommitTest, DisabledDegradesToPerCommitterFlush) {
+  LogManager lm(std::chrono::microseconds(0));
+  ASSERT_FALSE(lm.group_commit());
+  Lsn lsn = lm.Append(MakeRecord());
+  EXPECT_TRUE(lm.ForceCommit(lsn).ok());
+  EXPECT_EQ(lm.stable_lsn(), lsn);
+  EXPECT_EQ(lm.group_commit_batches(), 0u);
+  EXPECT_EQ(lm.group_commit_forces_absorbed(), 0u);
+}
+
+TEST_F(GroupCommitTest, StaggeredCommittersBatchAndAbsorb) {
+  // 50 ms device force, three committers staggered well inside it. The
+  // first elects itself flusher for its own LSN; the second arrives
+  // mid-force and leads the *next* batch, which by then covers the third
+  // committer's LSN too — the third is absorbed, observing durability
+  // without ever touching the device. Deterministic: 2 batches, 1
+  // absorbed, regardless of which of the two waiters wins the election.
+  LogManager lm(std::chrono::milliseconds(50));
+  lm.set_group_commit(true);
+  Lsn l1 = lm.Append(MakeRecord());
+  Lsn l2 = lm.Append(MakeRecord());
+  Lsn l3 = lm.Append(MakeRecord());
+
+  std::vector<std::thread> committers;
+  std::atomic<int> ok{0};
+  committers.emplace_back([&] {
+    if (lm.ForceCommit(l1).ok()) ++ok;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  committers.emplace_back([&] {
+    if (lm.ForceCommit(l2).ok()) ++ok;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  committers.emplace_back([&] {
+    if (lm.ForceCommit(l3).ok()) ++ok;
+  });
+  for (std::thread& t : committers) t.join();
+
+  EXPECT_EQ(ok.load(), 3);
+  EXPECT_EQ(lm.stable_lsn(), l3);
+  EXPECT_EQ(lm.group_commit_batches(), 2u);
+  EXPECT_EQ(lm.group_commit_forces_absorbed(), 1u);
+}
+
+TEST_F(GroupCommitTest, AlreadyDurableTargetSkipsTheDevice) {
+  LogManager lm(std::chrono::microseconds(0));
+  lm.set_group_commit(true);
+  Lsn l1 = lm.Append(MakeRecord());
+  ASSERT_TRUE(lm.ForceCommit(l1).ok());
+  EXPECT_EQ(lm.group_commit_batches(), 1u);
+  // A second force to the same (now stable) LSN never elects a flusher.
+  ASSERT_TRUE(lm.ForceCommit(l1).ok());
+  EXPECT_EQ(lm.group_commit_batches(), 1u);
+}
+
+TEST_F(GroupCommitTest, CrashBetweenForceAndAdvanceIsNotDurable) {
+  // The crash window of the daemon: the device force completed but the
+  // durability acknowledgement (stable_lsn_ advance) never happened. The
+  // committer must see a crash, and the records must be lost on restart.
+  LogManager lm(std::chrono::microseconds(0));
+  lm.set_group_commit(true);
+  ASSERT_TRUE(FailPoints::Instance()
+                  .ArmFromString("wal:group-commit:after-force=crash")
+                  .ok());
+  Lsn lsn = lm.Append(MakeRecord());
+  Status s = lm.ForceCommit(lsn);
+  EXPECT_TRUE(s.IsCrashed());
+  EXPECT_EQ(lm.stable_lsn(), 0u);
+  lm.DiscardUnflushed();
+  EXPECT_EQ(lm.NumRecords(), 0u);
+}
+
+TEST_F(GroupCommitTest, CrashedFlusherDoesNotStrandWaiters) {
+  // A waiter riding a batch whose flusher crashes must wake, re-elect,
+  // and (with the site armed unlimited) crash out itself — never hang,
+  // never observe durability.
+  LogManager lm(std::chrono::milliseconds(40));
+  lm.set_group_commit(true);
+  ASSERT_TRUE(FailPoints::Instance()
+                  .ArmFromString("wal:group-commit:after-force=crash")
+                  .ok());
+  Lsn l1 = lm.Append(MakeRecord());
+  Lsn l2 = lm.Append(MakeRecord());
+  std::atomic<int> crashed{0};
+  std::thread a([&] {
+    if (lm.ForceCommit(l1).IsCrashed()) ++crashed;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  std::thread b([&] {
+    if (lm.ForceCommit(l2).IsCrashed()) ++crashed;
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(crashed.load(), 2);
+  EXPECT_EQ(lm.stable_lsn(), 0u);
+}
+
+TEST_F(GroupCommitTest, NoAbsorbedWaiterObservesDurabilityEarly) {
+  // Database-level: two user transactions commit concurrently with a
+  // real force latency while the after-force crash site is armed
+  // unlimited. Whichever committer leads crashes; the other must not
+  // treat the (possibly device-written) batch as durable — both commits
+  // report crashed, both transactions are abandoned, and restart
+  // recovery shows neither object.
+  DatabaseOptions dopt = testing::SmallDbOptions();
+  dopt.commit_flush_latency = std::chrono::milliseconds(30);
+  dopt.group_commit = true;
+  Database db(dopt);
+
+  ObjectId oid1, oid2;
+  {
+    // Pre-crash baseline commit so recovery has a stable prefix.
+    auto setup = db.Begin();
+    ObjectId base;
+    ASSERT_TRUE(setup->CreateObject(1, 2, 16, &base).ok());
+    ASSERT_TRUE(setup->Commit().ok());
+  }
+  ASSERT_TRUE(FailPoints::Instance()
+                  .ArmFromString("wal:group-commit:after-force=crash")
+                  .ok());
+  std::atomic<int> crashed{0};
+  auto committer = [&](ObjectId* out) {
+    auto txn = db.Begin();
+    ASSERT_TRUE(txn->CreateObject(1, 2, 16, out).ok());
+    Status s = txn->Commit();
+    if (s.IsCrashed()) {
+      ++crashed;
+      txn->Abandon();
+    }
+  };
+  std::thread t1(committer, &oid1);
+  std::thread t2(committer, &oid2);
+  t1.join();
+  t2.join();
+  ASSERT_EQ(crashed.load(), 2);
+  FailPoints::Instance().Reset();
+
+  db.SimulateCrash();
+  ASSERT_TRUE(db.Recover().ok());
+  EXPECT_FALSE(db.store().Validate(oid1));
+  EXPECT_FALSE(db.store().Validate(oid2));
+}
+
+TEST_F(GroupCommitTest, ConcurrentCommitsAreDurableAfterRecovery) {
+  // The positive direction: commits that return OK through the daemon —
+  // leaders and absorbed waiters alike — survive a crash.
+  DatabaseOptions dopt = testing::SmallDbOptions();
+  dopt.commit_flush_latency = std::chrono::milliseconds(40);
+  dopt.group_commit = true;
+  Database db(dopt);
+
+  constexpr int kTxns = 3;
+  ObjectId oids[kTxns];
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < kTxns; ++i) {
+    threads.emplace_back([&, i] {
+      auto txn = db.Begin();
+      ASSERT_TRUE(txn->CreateObject(1, 2, 16, &oids[i]).ok());
+      if (txn->Commit().ok()) ++ok;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(ok.load(), kTxns);
+  EXPECT_GT(db.log().group_commit_batches(), 0u);
+
+  db.SimulateCrash();
+  ASSERT_TRUE(db.Recover().ok());
+  for (int i = 0; i < kTxns; ++i) {
+    EXPECT_TRUE(db.store().Validate(oids[i])) << i;
+  }
+}
+
+TEST_F(GroupCommitTest, GroupCommitOffIsStillDurable) {
+  DatabaseOptions dopt = testing::SmallDbOptions();
+  dopt.commit_flush_latency = std::chrono::milliseconds(5);
+  dopt.group_commit = false;
+  Database db(dopt);
+  ObjectId oid;
+  {
+    auto txn = db.Begin();
+    ASSERT_TRUE(txn->CreateObject(1, 2, 16, &oid).ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  EXPECT_EQ(db.log().group_commit_batches(), 0u);
+  db.SimulateCrash();
+  ASSERT_TRUE(db.Recover().ok());
+  EXPECT_TRUE(db.store().Validate(oid));
+}
+
+}  // namespace
+}  // namespace brahma

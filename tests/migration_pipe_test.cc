@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/migration_pipe.h"
+
+namespace brahma {
+namespace {
+
+using Next = MigrationPipe::Next;
+
+ObjectId Oid(uint64_t offset) { return ObjectId(1, offset); }
+
+// Claim-aware wakeup: a deferred item wakes exactly when its blocking
+// claim drops — not on an unrelated release, not on a timer.
+TEST(MigrationPipeTest, ClaimParkWakesExactlyOnBlockerRelease) {
+  MigrationPipe::Options opt;
+  opt.workers = 2;
+  std::vector<ObjectId> objs = {Oid(10), Oid(20)};
+  MigrationPipe pipe(objs, opt);
+
+  MigrationPipe::Item a, b;
+  ASSERT_EQ(pipe.Pop(&a), Next::kItem);
+  ASSERT_EQ(pipe.Pop(&b), Next::kItem);
+
+  // a hit a footprint claim anchored at blocker; park it. b stays in
+  // flight (modeling the worker that holds the blocking claim), so the
+  // drained failsafe cannot promote a early.
+  const ObjectId blocker = Oid(99);
+  const ObjectId other = Oid(77);
+  pipe.ParkOnClaim(blocker, a.oid, a.attempt);
+  EXPECT_EQ(pipe.parked_on_claims(), 1u);
+
+  std::atomic<bool> woke{false};
+  MigrationPipe::Item got;
+  std::thread waiter([&] {
+    MigrationPipe::Next n = pipe.Pop(&got);
+    ASSERT_EQ(n, Next::kItem);
+    woke.store(true);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(woke.load()) << "woke with no release at all";
+
+  // Releasing an *unrelated* claim must not wake the parked item.
+  pipe.OnClaimReleased(other);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(woke.load()) << "woke on an unrelated claim release";
+  EXPECT_EQ(pipe.claim_wakeups(), 0u);
+  EXPECT_EQ(pipe.parked_on_claims(), 1u);
+
+  // Releasing the actual blocker wakes it immediately.
+  pipe.OnClaimReleased(blocker);
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+  EXPECT_EQ(got.oid, a.oid);
+  EXPECT_EQ(got.attempt, a.attempt);
+  EXPECT_EQ(pipe.claim_wakeups(), 1u);
+  EXPECT_EQ(pipe.parked_on_claims(), 0u);
+
+  pipe.Done();  // a (re-popped by the waiter)
+  pipe.Done();  // b
+  MigrationPipe::Item end;
+  EXPECT_EQ(pipe.Pop(&end), Next::kDrained);
+}
+
+// Multiple items parked under the same blocker all wake on one release;
+// items under a different blocker stay parked.
+TEST(MigrationPipeTest, ReleaseWakesAllWaitersOfThatBlockerOnly) {
+  MigrationPipe::Options opt;
+  opt.workers = 3;
+  std::vector<ObjectId> objs = {Oid(10), Oid(20), Oid(30)};
+  MigrationPipe pipe(objs, opt);
+
+  MigrationPipe::Item i1, i2, i3;
+  ASSERT_EQ(pipe.Pop(&i1), Next::kItem);
+  ASSERT_EQ(pipe.Pop(&i2), Next::kItem);
+  ASSERT_EQ(pipe.Pop(&i3), Next::kItem);
+
+  const ObjectId x = Oid(98);
+  const ObjectId y = Oid(99);
+  pipe.ParkOnClaim(x, i1.oid, i1.attempt);
+  pipe.ParkOnClaim(x, i2.oid, i2.attempt);
+  pipe.ParkOnClaim(y, i3.oid, i3.attempt);
+  EXPECT_EQ(pipe.parked_on_claims(), 3u);
+
+  pipe.OnClaimReleased(x);
+  EXPECT_EQ(pipe.claim_wakeups(), 2u);
+  EXPECT_EQ(pipe.parked_on_claims(), 1u);
+
+  MigrationPipe::Item a, b;
+  ASSERT_EQ(pipe.Pop(&a), Next::kItem);
+  ASSERT_EQ(pipe.Pop(&b), Next::kItem);
+  EXPECT_TRUE((a.oid == i1.oid && b.oid == i2.oid) ||
+              (a.oid == i2.oid && b.oid == i1.oid));
+
+  pipe.OnClaimReleased(y);
+  EXPECT_EQ(pipe.claim_wakeups(), 3u);
+  MigrationPipe::Item c;
+  ASSERT_EQ(pipe.Pop(&c), Next::kItem);
+  EXPECT_EQ(c.oid, i3.oid);
+
+  pipe.Done();
+  pipe.Done();
+  pipe.Done();
+  MigrationPipe::Item end;
+  EXPECT_EQ(pipe.Pop(&end), Next::kDrained);
+}
+
+// Standalone-pipe failsafe: if every in-flight worker is gone and only
+// claim-parked items remain (a release that never arrives), Pop promotes
+// them rather than deadlocking.
+TEST(MigrationPipeTest, StrandedClaimWaitersArePromotedNotDeadlocked) {
+  MigrationPipe::Options opt;
+  opt.workers = 1;
+  std::vector<ObjectId> objs = {Oid(10)};
+  MigrationPipe pipe(objs, opt);
+
+  MigrationPipe::Item it;
+  ASSERT_EQ(pipe.Pop(&it), Next::kItem);
+  pipe.ParkOnClaim(Oid(99), it.oid, it.attempt);
+
+  // No one holds anything; a fresh Pop must hand the item back.
+  MigrationPipe::Item again;
+  ASSERT_EQ(pipe.Pop(&again), Next::kItem);
+  EXPECT_EQ(again.oid, it.oid);
+  pipe.Done();
+  MigrationPipe::Item end;
+  EXPECT_EQ(pipe.Pop(&end), Next::kDrained);
+}
+
+// Adaptive controller arithmetic: a deferral-dominated window sheds one
+// worker per window down to the floor; a migration-dominated window adds
+// one back up to the configured count.
+TEST(MigrationPipeTest, AdaptiveControllerShedsAndAddsByWindowRatio) {
+  MigrationPipe::Options opt;
+  opt.workers = 4;
+  opt.adaptive = true;
+  opt.min_workers = 1;
+  opt.adapt_window = 4;
+  opt.shed_ratio = 1.0;
+  opt.add_ratio = 0.25;
+  std::vector<ObjectId> objs = {Oid(10)};
+  MigrationPipe pipe(objs, opt);
+  ASSERT_EQ(pipe.target_running(), 4u);
+
+  auto window_of_deferrals = [&] {
+    for (uint32_t i = 0; i < opt.adapt_window; ++i) pipe.NoteDeferral();
+  };
+  auto window_of_migrations = [&] {
+    for (uint32_t i = 0; i < opt.adapt_window; ++i) pipe.NoteMigrated();
+  };
+
+  window_of_deferrals();
+  EXPECT_EQ(pipe.target_running(), 3u);
+  window_of_deferrals();
+  EXPECT_EQ(pipe.target_running(), 2u);
+  window_of_deferrals();
+  EXPECT_EQ(pipe.target_running(), 1u);
+  // At the floor: further thrash-dominated windows change nothing.
+  window_of_deferrals();
+  EXPECT_EQ(pipe.target_running(), 1u);
+  EXPECT_EQ(pipe.workers_shed(), 3u);
+
+  window_of_migrations();
+  EXPECT_EQ(pipe.target_running(), 2u);
+  window_of_migrations();
+  EXPECT_EQ(pipe.target_running(), 3u);
+  EXPECT_EQ(pipe.workers_added(), 2u);
+
+  // A mixed window below the shed ratio and above the add ratio holds
+  // the worker count steady.
+  pipe.NoteDeferral();
+  for (uint32_t i = 1; i < opt.adapt_window; ++i) pipe.NoteMigrated();
+  EXPECT_EQ(pipe.target_running(), 3u);
+  EXPECT_EQ(pipe.workers_shed(), 3u);
+  EXPECT_EQ(pipe.workers_added(), 2u);
+}
+
+// A shed worker parks (stops popping even with work available) and
+// resumes when the controller raises the target again.
+TEST(MigrationPipeTest, ShedWorkerParksAndResumesOnTargetRaise) {
+  MigrationPipe::Options opt;
+  opt.workers = 2;
+  opt.adaptive = true;
+  opt.min_workers = 1;
+  opt.adapt_window = 2;
+  opt.shed_ratio = 1.0;
+  opt.add_ratio = 0.25;
+  std::vector<ObjectId> objs = {Oid(10), Oid(20)};
+  MigrationPipe pipe(objs, opt);
+
+  // Thrash window: target drops 2 -> 1 before any worker pops.
+  pipe.NoteDeferral();
+  pipe.NoteDeferral();
+  ASSERT_EQ(pipe.target_running(), 1u);
+
+  // The "second worker" must park inside Pop despite ready work.
+  std::atomic<bool> popped{false};
+  MigrationPipe::Item parked_item;
+  std::thread w2([&] {
+    MigrationPipe::Next n = pipe.Pop(&parked_item);
+    ASSERT_EQ(n, Next::kItem);
+    popped.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(popped.load()) << "worker popped while over target";
+
+  // Productive window raises the target; the parked worker resumes.
+  pipe.NoteMigrated();
+  pipe.NoteMigrated();
+  ASSERT_EQ(pipe.target_running(), 2u);
+  w2.join();
+  EXPECT_TRUE(popped.load());
+  EXPECT_EQ(pipe.workers_added(), 1u);
+
+  // Drain: the main thread takes the remaining item.
+  MigrationPipe::Item mine;
+  ASSERT_EQ(pipe.Pop(&mine), Next::kItem);
+  pipe.Done();
+  pipe.Done();
+  MigrationPipe::Item end;
+  EXPECT_EQ(pipe.Pop(&end), Next::kDrained);
+}
+
+// Stop() wins over parking: a parked worker must observe Stop and exit.
+TEST(MigrationPipeTest, StopWakesParkedWorker) {
+  MigrationPipe::Options opt;
+  opt.workers = 2;
+  opt.adaptive = true;
+  opt.adapt_window = 2;
+  std::vector<ObjectId> objs = {Oid(10), Oid(20)};
+  MigrationPipe pipe(objs, opt);
+  pipe.NoteDeferral();
+  pipe.NoteDeferral();
+  ASSERT_EQ(pipe.target_running(), 1u);
+
+  std::atomic<bool> stopped_seen{false};
+  std::thread w2([&] {
+    MigrationPipe::Item it;
+    if (pipe.Pop(&it) == Next::kStopped) stopped_seen.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  pipe.Stop(Status::Crashed("test stop"));
+  w2.join();
+  EXPECT_TRUE(stopped_seen.load());
+  EXPECT_TRUE(pipe.result().IsCrashed());
+}
+
+}  // namespace
+}  // namespace brahma
