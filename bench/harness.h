@@ -68,6 +68,9 @@ struct ExperimentConfig {
   // BRAHMA_BENCH_FULL=1 restores the literal 1 s. Both values live in
   // common/params.h so library defaults and benchmarks stay in sync.
   std::chrono::milliseconds lock_timeout = kCalibratedLockTimeout;
+  // Deadlock handling during lock waits: waits-for detection (default),
+  // wait-die, or the paper's timeout-only baseline (DESIGN.md §10).
+  DeadlockPolicy deadlock_policy = kDefaultDeadlockPolicy;
 };
 
 struct ExperimentResult {
@@ -163,6 +166,7 @@ inline ExperimentResult RunExperimentExact(const ExperimentConfig& cfg) {
   dopt.group_commit = cfg.group_commit;
   dopt.log_truncate_threshold = 500000;
   dopt.lock_timeout = cfg.lock_timeout;
+  dopt.deadlock_policy = cfg.deadlock_policy;
   Database db(dopt);
 
   BuiltGraph graph;

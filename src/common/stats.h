@@ -67,6 +67,14 @@ struct ReorgStats {
   // Adaptive worker controller: park/unpark decisions taken mid-run.
   std::atomic<uint64_t> workers_shed{0};
   std::atomic<uint64_t> workers_added{0};
+  // Deadlock handling (delta of the shared LockManager counters over this
+  // run, like group_commit_batches): waits-for cycles found, transactions
+  // surgically aborted to break them, and the cumulative lock-wait time
+  // those victims did NOT burn (remaining-until-timeout at victimization —
+  // the paper's timeout-only baseline would have stalled that long).
+  std::atomic<uint64_t> deadlocks_detected{0};
+  std::atomic<uint64_t> victims_aborted{0};
+  std::atomic<uint64_t> victim_wait_ms_saved{0};
   // Failpoint triggers observed during this run (delta of the global
   // trigger counter; attributes concurrent-mutator triggers to the run
   // they overlapped, which is what fault-injection reports want).
@@ -97,6 +105,9 @@ struct ReorgStats {
     claim_wakeups.store(other.claim_wakeups.load());
     workers_shed.store(other.workers_shed.load());
     workers_added.store(other.workers_added.load());
+    deadlocks_detected.store(other.deadlocks_detected.load());
+    victims_aborted.store(other.victims_aborted.load());
+    victim_wait_ms_saved.store(other.victim_wait_ms_saved.load());
     faults_injected.store(other.faults_injected.load());
     duration_ms = other.duration_ms;
     std::scoped_lock l(relocation_mu_, other.relocation_mu_);

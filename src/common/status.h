@@ -30,6 +30,10 @@ class Status {
                     // budget; partial progress + checkpoint are usable
     kCrashed,       // fault injection: simulated crash at a failpoint;
                     // propagate without undo, then SimulateCrash/Recover
+    kDeadlockVictim,  // the waits-for detector picked this transaction to
+                      // break a cycle: the pending Acquire was cancelled
+                      // (held locks intact) — abort, compensate, retry.
+                      // Contrast kTimedOut: no timeout was burned.
   };
 
   Status() : code_(Code::kOk) {}
@@ -68,6 +72,9 @@ class Status {
   static Status Crashed(std::string msg = "") {
     return Status(Code::kCrashed, std::move(msg));
   }
+  static Status DeadlockVictim(std::string msg = "") {
+    return Status(Code::kDeadlockVictim, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -79,6 +86,7 @@ class Status {
   bool IsRetryExhausted() const { return code_ == Code::kRetryExhausted; }
   bool IsDegraded() const { return code_ == Code::kDegraded; }
   bool IsCrashed() const { return code_ == Code::kCrashed; }
+  bool IsDeadlockVictim() const { return code_ == Code::kDeadlockVictim; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
@@ -99,6 +107,7 @@ class Status {
       case Code::kRetryExhausted: name = "RetryExhausted"; break;
       case Code::kDegraded: name = "Degraded"; break;
       case Code::kCrashed: name = "Crashed"; break;
+      case Code::kDeadlockVictim: name = "DeadlockVictim"; break;
     }
     return msg_.empty() ? std::string(name) : std::string(name) + ": " + msg_;
   }

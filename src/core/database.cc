@@ -13,6 +13,7 @@ Database::Database(const DatabaseOptions& options) : options_(options) {
   log_->set_group_commit(options.group_commit);
   locks_ = std::make_unique<LockManager>();
   locks_->set_history_enabled(options.enable_lock_history);
+  locks_->set_deadlock_policy(options.deadlock_policy);
   erts_ = std::make_unique<ErtSet>(store_->num_partitions());
   trt_ = std::make_unique<Trt>();
   analyzer_ = std::make_unique<LogAnalyzer>(log_.get(), erts_.get(),

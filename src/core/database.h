@@ -42,6 +42,11 @@ struct DatabaseOptions {
   // common/params.h for the shared defaults).
   std::chrono::milliseconds lock_timeout = kPaperLockTimeout;
 
+  // How lock waits detect and break deadlocks before the timeout fires:
+  // waits-for graph detection (default), wait-die, or the paper's
+  // timeout-only baseline. See common/params.h and DESIGN.md §10.
+  DeadlockPolicy deadlock_policy = kDefaultDeadlockPolicy;
+
   // If false, transactions may release object locks early (Section 4.1);
   // the reorganizer must then run with wait_for_historical_lockers and
   // lock history must be enabled.

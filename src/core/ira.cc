@@ -1,9 +1,11 @@
 #include "core/ira.h"
 
 #include <algorithm>
+#include <deque>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "common/clock.h"
 #include "common/failpoint.h"
@@ -49,6 +51,16 @@ Status IraReorganizer::Run(PartitionId p, RelocationPlanner* planner,
   const uint64_t gc_batches_before = ctx_.log->group_commit_batches();
   const uint64_t gc_absorbed_before =
       ctx_.log->group_commit_forces_absorbed();
+  const uint64_t dd_before = ctx_.locks->deadlocks_detected();
+  const uint64_t va_before = ctx_.locks->victims_aborted();
+  const uint64_t vw_before = ctx_.locks->victim_wait_saved_ms();
+  const DeadlockPolicy saved_policy = ctx_.locks->deadlock_policy();
+  if (options.wait_die) {
+    ctx_.locks->set_deadlock_policy(DeadlockPolicy::kWaitDie);
+  }
+  auto restore_policy = MakeCleanup([this, saved_policy] {
+    ctx_.locks->set_deadlock_policy(saved_policy);
+  });
 
   // Start collecting pointer inserts/deletes for the partition. Sync
   // first so pre-reorganization history (already reflected in the graph
@@ -94,6 +106,13 @@ Status IraReorganizer::Run(PartitionId p, RelocationPlanner* planner,
       ctx_.log->group_commit_batches() - gc_batches_before;
   stats->forces_absorbed +=
       ctx_.log->group_commit_forces_absorbed() - gc_absorbed_before;
+  // Deadlock counters are shared LockManager state, delta'd like the
+  // group-commit ones: cycles a user transaction broke against this run
+  // belong to this run's story.
+  stats->deadlocks_detected += ctx_.locks->deadlocks_detected() - dd_before;
+  stats->victims_aborted += ctx_.locks->victims_aborted() - va_before;
+  stats->victim_wait_ms_saved +=
+      ctx_.locks->victim_wait_saved_ms() - vw_before;
   return result;
 }
 
@@ -112,6 +131,16 @@ Status IraReorganizer::Resume(const ReorgCheckpoint& checkpoint,
   const uint64_t gc_batches_before = ctx_.log->group_commit_batches();
   const uint64_t gc_absorbed_before =
       ctx_.log->group_commit_forces_absorbed();
+  const uint64_t dd_before = ctx_.locks->deadlocks_detected();
+  const uint64_t va_before = ctx_.locks->victims_aborted();
+  const uint64_t vw_before = ctx_.locks->victim_wait_saved_ms();
+  const DeadlockPolicy saved_policy = ctx_.locks->deadlock_policy();
+  if (options.wait_die) {
+    ctx_.locks->set_deadlock_policy(DeadlockPolicy::kWaitDie);
+  }
+  auto restore_policy = MakeCleanup([this, saved_policy] {
+    ctx_.locks->set_deadlock_policy(saved_policy);
+  });
   const PartitionId p = checkpoint.partition;
   const bool strict = ctx_.txns->ctx().strict_2pl;
 
@@ -184,6 +213,10 @@ Status IraReorganizer::Resume(const ReorgCheckpoint& checkpoint,
       ctx_.log->group_commit_batches() - gc_batches_before;
   stats->forces_absorbed +=
       ctx_.log->group_commit_forces_absorbed() - gc_absorbed_before;
+  stats->deadlocks_detected += ctx_.locks->deadlocks_detected() - dd_before;
+  stats->victims_aborted += ctx_.locks->victims_aborted() - va_before;
+  stats->victim_wait_ms_saved +=
+      ctx_.locks->victim_wait_saved_ms() - vw_before;
   return result;
 }
 
@@ -236,7 +269,15 @@ Status IraReorganizer::MigrateSequential(
     ParentLists* plists, ReorgStats* stats) {
   MigratorState ws;
   Status result = Status::Ok();
-  for (ObjectId oid : objects) {
+  // A worklist rather than a plain loop: a deadlock-victim abort rolls
+  // the whole open group back, un-migrating members whose loop positions
+  // had already passed — they re-enter here for another pass, the way the
+  // parallel pipe Reinjects them.
+  std::deque<std::pair<ObjectId, uint32_t>> work;  // (oid, attempt)
+  for (ObjectId oid : objects) work.emplace_back(oid, 0);
+  while (!work.empty()) {
+    const auto [oid, attempt] = work.front();
+    work.pop_front();
     AtomicMax(&stats->trt_peak_size, ctx_.trt->Size());
     if (!ctx_.store->Validate(oid)) continue;  // defensive: already gone
     Status s = options.two_lock_mode
@@ -246,6 +287,24 @@ Status IraReorganizer::MigrateSequential(
                    : MigrateBasic(oid, p, planner, options, &ws,
                                   /*defer_on_conflict=*/false, migrated,
                                   plists, stats);
+    if (s.IsDeadlockVictim()) {
+      // Chosen to break a waits-for cycle. The callee aborted and
+      // compensated everything it had in flight; requeue it plus whatever
+      // the group rollback undid. No budget charge, no lock_timeouts
+      // tally — the cycle was broken surgically, no timeout was burned.
+      if (attempt + 1 >= options.max_retries_per_object) {
+        result = Status::RetryExhausted(
+            "gave up migrating " + oid.ToString() + " after " +
+            std::to_string(options.max_retries_per_object) +
+            " victim aborts");
+        break;
+      }
+      for (ObjectId o : ws.side_effects.TakeRolledBackMigrations()) {
+        if (o != oid) work.emplace_back(o, 0);
+      }
+      work.emplace_back(oid, attempt + 1);
+      continue;
+    }
     if (!s.ok()) {
       result = s;
       break;
@@ -432,6 +491,36 @@ void IraReorganizer::WorkerMain(MigrationPipe* pipe, PartitionId p,
         pipe->Stop(Status::RetryExhausted(
             "gave up migrating " + item.oid.ToString() + " after " +
             std::to_string(options.max_retries_per_object) + " aborts"));
+        pipe->Done();
+        continue;
+      }
+      const std::chrono::milliseconds delay =
+          BackoffDelay(item.attempt, options);
+      for (ObjectId o : again) {
+        if (o == item.oid) {
+          pipe->Requeue(o, item.attempt + 1, delay);
+        } else {
+          pipe->Reinject(o, 0, delay);
+        }
+      }
+      continue;
+    }
+    if (s.IsDeadlockVictim()) {
+      // Chosen to break a waits-for cycle. The callee aborted and
+      // compensated (the open group in basic mode, the bail path in
+      // two-lock), so requeue like a clean abort — but with no
+      // lock_timeouts tally and no contention-budget charge: detection
+      // saved the timeout, it did not burn one.
+      std::unordered_set<ObjectId> again;
+      again.insert(item.oid);
+      for (ObjectId o : ws.side_effects.TakeRolledBackMigrations()) {
+        again.insert(o);
+      }
+      if (item.attempt + 1 >= options.max_retries_per_object) {
+        pipe->Stop(Status::RetryExhausted(
+            "gave up migrating " + item.oid.ToString() + " after " +
+            std::to_string(options.max_retries_per_object) +
+            " victim aborts"));
         pipe->Done();
         continue;
       }
@@ -814,6 +903,19 @@ Status IraReorganizer::MigrateBasic(ObjectId oid, PartitionId p,
       }
       continue;
     }
+    if (s.IsDeadlockVictim()) {
+      // Selected to break a waits-for cycle: the cycle runs through locks
+      // this group transaction HOLDS, so unlocking just this object's new
+      // locks would not break it — abort the whole group. WAL undo plus
+      // side-effect replay restore every member and release every lock;
+      // the caller requeues the rolled-back migrations. Deliberately not
+      // charged to lock_timeouts or the contention budget.
+      ws->group_txn->Abort();
+      ++stats->aborts_rolled_back;
+      ws->group_txn.reset();
+      ws->in_group = 0;
+      return s;
+    }
     if (!s.ok()) return s;
     // Crash here: exact parents locked, nothing moved yet. Recovery sees
     // only completed (uncommitted) group work, which it undoes.
@@ -923,6 +1025,15 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
     if (s.IsCrashed()) {
       anchor->Abandon();
       return s;
+    }
+    if (s.IsDeadlockVictim()) {
+      // Broke a waits-for cycle before holding anything for this object:
+      // abort the empty anchor and retry in place (sequential) or let the
+      // pipeline requeue (parallel). No timeout burned, so neither
+      // lock_timeouts nor the contention budget is charged.
+      anchor->Abort();
+      if (defer_on_conflict) return s;
+      continue;
     }
     ++stats->lock_timeouts;
     anchor->Abort();
@@ -1081,6 +1192,15 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
         ptxn.reset();
         return s;
       }
+      if (s.IsDeadlockVictim()) {
+        // The cycle runs through locks ptxn and the anchor HOLD; retrying
+        // this parent without releasing them would deadlock again
+        // immediately. Surface to the caller, whose bail aborts ptxn,
+        // physically compensates the committed prefix, and aborts the
+        // anchor — the whole migration rolls back and the pipe requeues
+        // it. Not a timeout: no budget charge.
+        return s;
+      }
       if (!s.ok()) {
         ++stats->lock_timeouts;
         // Keep completed parent updates; retry this parent afresh.
@@ -1142,7 +1262,12 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
                 if (rr == oid || rr == onew) break;
                 Status ls = t->LockWithTimeout(rr, LockMode::kExclusive,
                                                ctx_.txns->ctx().lock_timeout);
-                if (ls.IsTimedOut()) continue;
+                // Compensation runs under ScopedSuppress, so its profile
+                // is no_victim and the detector will not pick it; the
+                // victim check is defensive (fast-fail/wait-die could
+                // still cancel it) — retrying is always safe here because
+                // t holds at most this one lock.
+                if (ls.IsTimedOut() || ls.IsDeadlockVictim()) continue;
                 if (!ls.ok()) {
                   t->Abort();
                   return ls;

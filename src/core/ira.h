@@ -97,6 +97,14 @@ struct IraOptions {
   // clusters are too entangled to parallelize, add one back when
   // deferrals fade. Thresholds come from params.h (kAdaptive*).
   bool adaptive_workers = false;
+
+  // Ablation knob: run this reorganization under wait-die deadlock
+  // handling instead of the session's DeadlockPolicy (the non-graph
+  // baseline for bench_deadlock). The LockManager policy is switched for
+  // the duration of Run/Resume and restored on exit — note it is a
+  // process-wide setting, so concurrent user transactions feel it too,
+  // exactly like the real knob would behave.
+  bool wait_die = false;
 };
 
 // The Incremental Reorganization Algorithm (paper Section 3): migrates

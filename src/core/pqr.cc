@@ -11,6 +11,21 @@ namespace brahma {
 Status PqrReorganizer::Run(PartitionId p, RelocationPlanner* planner,
                            const PqrOptions& options, ReorgStats* stats) {
   Stopwatch sw;
+  Status s;
+  for (;;) {
+    s = RunAttempt(p, planner, options, stats);
+    // A victimized attempt has already aborted its transaction (releasing
+    // the quiescing lock hoard and replaying side-table compensation), so
+    // the cycle is broken and a fresh quiesce can start immediately.
+    if (!s.IsDeadlockVictim()) break;
+  }
+  stats->duration_ms = sw.ElapsedMillis();
+  return s;
+}
+
+Status PqrReorganizer::RunAttempt(PartitionId p, RelocationPlanner* planner,
+                                  const PqrOptions& options,
+                                  ReorgStats* stats) {
   ctx_.analyzer->Sync();  // keep pre-reorg history out of the TRT
   ctx_.trt->Enable(p, /*purge_on_completion=*/false);
   ctx_.txns->WaitForAll(ctx_.txns->ActiveTxns());
@@ -47,6 +62,16 @@ Status PqrReorganizer::Run(PartitionId p, RelocationPlanner* planner,
         Status s = txn->LockWithTimeout(parent, LockMode::kExclusive,
                                         options.lock_timeout);
         if (s.ok()) break;
+        if (s.IsDeadlockVictim()) {
+          // The quiescing transaction holds the largest lock set in the
+          // system, so reorg-first victim selection naturally lands here.
+          // Retrying this one lock without releasing the hoard would
+          // re-form the same cycle; abort the whole attempt instead.
+          txn->Abort();
+          ++stats->aborts_rolled_back;
+          ctx_.trt->Disable();
+          return s;
+        }
         ++stats->lock_timeouts;
       }
     }
@@ -100,7 +125,6 @@ Status PqrReorganizer::Run(PartitionId p, RelocationPlanner* planner,
     ++stats->aborts_rolled_back;
   }
   ctx_.trt->Disable();
-  stats->duration_ms = sw.ElapsedMillis();
   return result;
 }
 

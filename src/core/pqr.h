@@ -33,6 +33,13 @@ class PqrReorganizer {
              const PqrOptions& options, ReorgStats* stats);
 
  private:
+  // One quiesce-and-reorganize attempt. Returns DeadlockVictim after
+  // rolling everything back if the deadlock detector sacrificed the
+  // quiescing transaction; Run then restarts the attempt from scratch
+  // (PQR still never gives up — it just releases its lock hoard first).
+  Status RunAttempt(PartitionId p, RelocationPlanner* planner,
+                    const PqrOptions& options, ReorgStats* stats);
+
   ReorgContext ctx_;
 };
 

@@ -314,6 +314,11 @@ Status CompleteInterruptedMigration(const ReorgContext& ctx, ObjectId old_id,
     });
   }
   for (ObjectId parent : parents) {
+    // Recovery runs quiesced, so contention (and thus timeout or
+    // deadlock-victim status) is not expected here; if it does surface,
+    // abort-and-return both releases every lock this transaction holds —
+    // breaking any waits-for cycle — and leaves O_old authoritative for
+    // a clean retry.
     Status s = txn->Lock(parent, LockMode::kExclusive);
     if (!s.ok()) {
       txn->Abort();

@@ -37,8 +37,140 @@ bool LockManager::TryGrant(LockEntry* entry) {
   return changed;
 }
 
+LockManager::Request* LockManager::FindRequest(LockEntry* entry, TxnId txn) {
+  for (Request& r : entry->queue) {
+    if (r.txn == txn) return &r;
+  }
+  return nullptr;
+}
+
+void LockManager::WithdrawRequest(Shard& shard, LockEntry* entry, ObjectId oid,
+                                  TxnId txn) {
+  for (auto it = entry->queue.begin(); it != entry->queue.end(); ++it) {
+    if (it->txn != txn) continue;
+    if (it->has_held) {
+      // Upgrade cancelled: fall back to the originally held mode so the
+      // transaction keeps exactly what it had before asking for more.
+      it->want = it->held;
+      it->waiting = false;
+      it->victim = false;
+    } else {
+      entry->queue.erase(it);
+    }
+    break;
+  }
+  if (TryGrant(entry)) entry->cv.notify_all();
+  if (entry->queue.empty()) shard.entries.erase(oid);
+}
+
+void LockManager::RegisterWaiter(TxnId txn, ObjectId oid,
+                                 const WaiterProfile& profile) {
+  std::lock_guard<std::mutex> g(graph_mu_);
+  waiting_[txn] = WaitRecord{oid, profile};
+}
+
+void LockManager::DeregisterWaiter(TxnId txn) {
+  std::lock_guard<std::mutex> g(graph_mu_);
+  waiting_.erase(txn);
+}
+
+bool LockManager::WaitDieShouldDie(const LockEntry& entry,
+                                   const Request& mine) const {
+  for (const Request& r : entry.queue) {
+    if (r.txn == mine.txn || !r.has_held) continue;
+    if (!Compatible(r.held, mine.want) && mine.txn > r.txn) return true;
+  }
+  return false;
+}
+
+void LockManager::RunDetection(TxnId self) {
+  // A pass already in flight is scanning the same registry; rather than
+  // convoy behind it, give up and retry next grace slice.
+  std::unique_lock<std::mutex> d(detector_mu_, std::try_to_lock);
+  if (!d.owns_lock()) return;
+
+  std::unordered_map<TxnId, WaitRecord> waiting;
+  {
+    std::lock_guard<std::mutex> g(graph_mu_);
+    waiting = waiting_;
+  }
+  if (waiting.find(self) == waiting.end()) return;
+
+  // Build waits-for edges one shard at a time (never two shard mutexes at
+  // once), re-reading each waiter's queue as ground truth. The per-shard
+  // snapshots are taken at slightly different instants; MarkVictim below
+  // re-verifies before cancelling anything.
+  deadlock::WaitsForGraph graph;
+  for (const auto& [t, rec] : waiting) {
+    Shard& shard = ShardFor(rec.oid);
+    std::lock_guard<std::mutex> l(shard.mu);
+    auto it = shard.entries.find(rec.oid);
+    if (it == shard.entries.end()) continue;
+    LockEntry* entry = it->second.get();
+    const Request* me = FindRequest(entry, t);
+    if (me == nullptr || !me->waiting || me->victim) continue;
+    std::vector<TxnId> out;
+    bool before_me = true;
+    for (const Request& r : entry->queue) {
+      if (r.txn == t) {
+        before_me = false;
+        continue;
+      }
+      if (r.has_held) {
+        if (!Compatible(r.held, me->want)) out.push_back(r.txn);
+      } else if (r.waiting && before_me && !me->has_held) {
+        // FIFO no-barge: a fresh waiter is also blocked behind every
+        // earlier fresh waiter still in line.
+        out.push_back(r.txn);
+      }
+    }
+    if (!out.empty()) graph.emplace(t, std::move(out));
+  }
+
+  std::vector<TxnId> cycle =
+      deadlock::FindCycleFrom(graph, self, kDeadlockMaxDfsDepth);
+  if (cycle.empty()) return;
+  BRAHMA_FAILPOINT_HIT("deadlock:detect");
+
+  std::unordered_map<TxnId, WaiterProfile> profiles;
+  for (TxnId t : cycle) {
+    auto it = waiting.find(t);
+    if (it != waiting.end()) profiles[t] = it->second.profile;
+  }
+  TxnId victim = deadlock::SelectVictim(cycle, profiles, victim_policy());
+  BRAHMA_FAILPOINT_HIT("deadlock:select");
+  if (victim == kInvalidTxn) return;  // every member exempt; timeout backstop
+
+  auto vrec = waiting.find(victim);
+  if (vrec == waiting.end()) return;
+  ObjectId voi = vrec->second.oid;
+  Shard& vshard = ShardFor(voi);
+  bool marked = false;
+  {
+    std::lock_guard<std::mutex> l(vshard.mu);
+    auto it = vshard.entries.find(voi);
+    if (it != vshard.entries.end()) {
+      Request* r = FindRequest(it->second.get(), victim);
+      // Only cancel a request that is still blocked: the cycle may have
+      // dissolved (grant, timeout, release) between snapshot and now.
+      if (r != nullptr && r->waiting && !r->victim) {
+        r->victim = true;
+        marked = true;
+        it->second->cv.notify_all();
+      }
+    }
+  }
+  if (marked) {
+    deadlocks_detected_.fetch_add(1);
+    // Drop the victim from the registry immediately so an overlapping
+    // pass cannot pick a second victim for the same cycle.
+    DeregisterWaiter(victim);
+  }
+}
+
 Status LockManager::Acquire(TxnId txn, ObjectId oid, LockMode mode,
-                            std::chrono::milliseconds timeout) {
+                            std::chrono::milliseconds timeout,
+                            const WaiterProfile& profile) {
   // `lock:acquire=timeout` injects persistent contention (every acquire
   // behaves as a deadlock-broken wait); `delay` models a convoy.
   BRAHMA_FAILPOINT("lock:acquire");
@@ -48,24 +180,66 @@ Status LockManager::Acquire(TxnId txn, ObjectId oid, LockMode mode,
   if (entry_ptr == nullptr) entry_ptr = std::make_shared<LockEntry>();
   std::shared_ptr<LockEntry> entry = entry_ptr;
 
-  // Find an existing request from this transaction.
-  Request* mine = nullptr;
-  for (Request& r : entry->queue) {
-    if (r.txn == txn) {
-      mine = &r;
-      break;
-    }
-  }
+  Request* mine = FindRequest(entry.get(), txn);
   if (mine != nullptr && mine->has_held) {
     if (mine->held == LockMode::kExclusive || mine->held == mode) {
       return Status::Ok();  // re-entrant; already strong enough
     }
-    // Upgrade S -> X.
+    // Upgrade S -> X. Two holders both waiting to upgrade deadlock the
+    // instant the second asks — neither can ever be granted while the
+    // other holds S — so resolve holder-vs-holder conflicts on the spot,
+    // under every DeadlockPolicy (the evidence IS the cycle; no graph
+    // needed). Loop: several rivals may be queued.
+    for (;;) {
+      std::vector<Request*> rivals;
+      for (Request& r : entry->queue) {
+        if (r.txn != txn && r.has_held && r.waiting && !r.victim) {
+          rivals.push_back(&r);
+        }
+      }
+      if (rivals.empty()) break;
+      std::vector<TxnId> cycle{txn};
+      std::unordered_map<TxnId, WaiterProfile> profiles{{txn, profile}};
+      for (Request* r : rivals) {
+        cycle.push_back(r->txn);
+        profiles.emplace(r->txn, r->profile);
+      }
+      TxnId v = deadlock::SelectVictim(cycle, profiles, victim_policy());
+      if (v == kInvalidTxn) break;  // everyone exempt; timeout backstop
+      deadlocks_detected_.fetch_add(1);
+      if (v == txn) {
+        // Fast-fail before the upgrade is even queued: the held S mode is
+        // untouched, and the full would-be wait is saved.
+        victims_aborted_.fetch_add(1);
+        if (!profile.reorg) user_victims_.fetch_add(1);
+        if (timeout.count() > 0) {
+          victim_wait_saved_ms_.fetch_add(
+              static_cast<uint64_t>(timeout.count()));
+        }
+        l.unlock();
+        BRAHMA_FAILPOINT_HIT("deadlock:victim");
+        return Status::DeadlockVictim("upgrade deadlock on " + oid.ToString());
+      }
+      for (Request* r : rivals) {
+        if (r->txn == v) {
+          r->victim = true;
+          break;
+        }
+      }
+      entry->cv.notify_all();
+    }
     mine->want = LockMode::kExclusive;
     mine->waiting = true;
+    mine->victim = false;
+    mine->profile = profile;
   } else if (mine == nullptr) {
-    entry->queue.push_back(
-        Request{txn, /*has_held=*/false, mode, mode, /*waiting=*/true});
+    Request r;
+    r.txn = txn;
+    r.held = mode;
+    r.want = mode;
+    r.waiting = true;
+    r.profile = profile;
+    entry->queue.push_back(r);
   } else {
     // A waiting (not yet granted) request exists; strengthen it.
     if (mode == LockMode::kExclusive) mine->want = LockMode::kExclusive;
@@ -73,35 +247,68 @@ Status LockManager::Acquire(TxnId txn, ObjectId oid, LockMode mode,
 
   if (TryGrant(entry.get())) entry->cv.notify_all();
 
-  auto is_granted = [&entry, txn]() {
-    for (const Request& r : entry->queue) {
-      if (r.txn == txn) return !r.waiting;
-    }
-    return false;
-  };
-
-  auto deadline = std::chrono::steady_clock::now() + timeout;
-  while (!is_granted()) {
-    if (entry->cv.wait_until(l, deadline) == std::cv_status::timeout &&
-        !is_granted()) {
-      // Withdraw the request (keep any previously held mode on upgrade
-      // timeout) and wake others that may now be grantable.
-      for (auto it = entry->queue.begin(); it != entry->queue.end(); ++it) {
-        if (it->txn != txn) continue;
-        if (it->has_held) {
-          it->want = it->held;
-          it->waiting = false;
-        } else {
-          entry->queue.erase(it);
-        }
-        break;
-      }
-      if (TryGrant(entry.get())) entry->cv.notify_all();
-      if (entry->queue.empty()) shard.entries.erase(oid);
-      return Status::TimedOut("lock wait timeout on " + oid.ToString());
-    }
+  mine = FindRequest(entry.get(), txn);
+  if (mine != nullptr && !mine->waiting) {
+    if (history_enabled_) shard.history[oid].insert(txn);
+    return Status::Ok();
   }
 
+  const DeadlockPolicy policy = deadlock_policy();
+  const bool detect = policy == DeadlockPolicy::kDetect;
+  if (detect) RegisterWaiter(txn, oid, profile);  // graph_mu_ is a leaf
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + timeout;
+  auto next_detect = start + kDeadlockDetectGrace;
+  for (;;) {
+    // Re-find every iteration: the queue vector reallocates under churn,
+    // and the shard mutex was dropped across detection passes.
+    mine = FindRequest(entry.get(), txn);
+    if (mine == nullptr) {
+      // Defensive; only this thread withdraws its own request.
+      if (detect) DeregisterWaiter(txn);
+      return Status::TimedOut("lock request lost on " + oid.ToString());
+    }
+    if (!mine->waiting) break;  // granted
+    auto now = std::chrono::steady_clock::now();
+    if (mine->victim || (policy == DeadlockPolicy::kWaitDie &&
+                         WaitDieShouldDie(*entry, *mine))) {
+      // Cancelled to break a cycle (graph detector / upgrade fast-fail)
+      // or died under wait-die. Withdraw — held locks intact — and let
+      // the caller abort and retry without burning the timeout.
+      if (detect) DeregisterWaiter(txn);
+      victims_aborted_.fetch_add(1);
+      if (!mine->profile.reorg) user_victims_.fetch_add(1);
+      if (deadline > now) {
+        victim_wait_saved_ms_.fetch_add(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                  now)
+                .count()));
+      }
+      WithdrawRequest(shard, entry.get(), oid, txn);
+      l.unlock();
+      BRAHMA_FAILPOINT_HIT("deadlock:victim");
+      return Status::DeadlockVictim("deadlock victim on " + oid.ToString());
+    }
+    if (now >= deadline) {
+      if (detect) DeregisterWaiter(txn);
+      WithdrawRequest(shard, entry.get(), oid, txn);
+      return Status::TimedOut("lock wait timeout on " + oid.ToString());
+    }
+    if (detect && now >= next_detect) {
+      // Still blocked after a grace slice: run a detection pass on our
+      // own dime. Drop the shard mutex first — the detector takes shards
+      // one at a time and must never hold two.
+      l.unlock();
+      RunDetection(txn);
+      l.lock();
+      next_detect = std::chrono::steady_clock::now() + kDeadlockDetectGrace;
+      continue;  // re-read state: granted or victimized meanwhile?
+    }
+    entry->cv.wait_until(l,
+                         detect ? std::min(deadline, next_detect) : deadline);
+  }
+  if (detect) DeregisterWaiter(txn);
   if (history_enabled_) shard.history[oid].insert(txn);
   return Status::Ok();
 }
@@ -167,6 +374,8 @@ void LockManager::ClearAllState() {
     shard.entries.clear();
     shard.history.clear();
   }
+  std::lock_guard<std::mutex> g(graph_mu_);
+  waiting_.clear();
 }
 
 void LockManager::ForgetTxn(TxnId txn, const std::vector<ObjectId>& touched) {

@@ -1,6 +1,7 @@
 #ifndef BRAHMA_TXN_LOCK_MANAGER_H_
 #define BRAHMA_TXN_LOCK_MANAGER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -10,8 +11,10 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/params.h"
 #include "common/status.h"
 #include "storage/object_id.h"
+#include "txn/deadlock.h"
 #include "wal/log_record.h"
 
 namespace brahma {
@@ -23,12 +26,24 @@ enum class LockMode : uint8_t { kShared, kExclusive };
 // Transactions follow strict two-phase locking by default: every lock is
 // held until commit or abort (paper Section 2). Deadlocks are handled by
 // a lock-wait timeout, set to one second in the paper's experiments
-// (Section 5): a timed-out acquire returns Status::TimedOut and the
-// caller aborts and retries.
+// (Section 5) — and, since DESIGN.md §10, by waits-for cycle detection
+// layered underneath it: a blocked Acquire registers in a waits-for
+// registry and, after kDeadlockDetectGrace, runs DFS cycle detection over
+// the merged per-shard wait queues. On a cycle the cheapest member
+// (VictimPolicy; reorg transactions before user transactions) has its
+// pending request cancelled and its Acquire returns
+// Status::DeadlockVictim — held locks intact, no timeout burned; the
+// caller aborts (compensated, §8) and retries. The timeout remains the
+// backstop for anything detection declines (all-no_victim cycles, cycles
+// longer than kDeadlockMaxDfsDepth).
 //
 // Grant policy: FIFO among waiters (no barging), except that upgrade
 // requests (S -> X by a current holder) are considered first. Re-entrant
-// acquires of an already-held mode are no-ops.
+// acquires of an already-held mode are no-ops. Two holders that both
+// request an upgrade deadlock instantly (neither can ever be granted
+// while the other holds S); Acquire recognizes this on the spot and
+// fast-fails the cheapest rival under every DeadlockPolicy, timeout-only
+// included.
 //
 // For the paper's Section 4.1 extension (transactions that release locks
 // early), the lock manager can additionally record which active
@@ -42,9 +57,12 @@ class LockManager {
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
 
-  // Blocks until granted or until timeout elapses.
+  // Blocks until granted or until timeout elapses. `profile` describes
+  // the requester for victim selection (defaults to a user transaction
+  // holding nothing).
   Status Acquire(TxnId txn, ObjectId oid, LockMode mode,
-                 std::chrono::milliseconds timeout);
+                 std::chrono::milliseconds timeout,
+                 const WaiterProfile& profile = {});
 
   // Releases txn's lock on oid (no-op if not held).
   void Release(TxnId txn, ObjectId oid);
@@ -55,6 +73,34 @@ class LockManager {
   // Number of objects with at least one holder or waiter (lock-leak
   // checks in tests).
   size_t NumLockedObjects() const;
+
+  // --- deadlock handling (DESIGN.md §10) --------------------------------
+  void set_deadlock_policy(DeadlockPolicy p) {
+    deadlock_policy_.store(p, std::memory_order_relaxed);
+  }
+  DeadlockPolicy deadlock_policy() const {
+    return deadlock_policy_.load(std::memory_order_relaxed);
+  }
+  void set_victim_policy(VictimPolicy p) {
+    victim_policy_.store(p, std::memory_order_relaxed);
+  }
+  VictimPolicy victim_policy() const {
+    return victim_policy_.load(std::memory_order_relaxed);
+  }
+
+  // Waits-for cycles broken (graph detection and upgrade fast-fail; not
+  // wait-die deaths, which kill without evidence of a cycle).
+  uint64_t deadlocks_detected() const { return deadlocks_detected_.load(); }
+  // Acquires cancelled with Status::DeadlockVictim, however chosen
+  // (detector, fast-fail, wait-die), and the subset whose profile was a
+  // user transaction (tests assert this stays 0 when a reorg txn was
+  // available in every cycle).
+  uint64_t victims_aborted() const { return victims_aborted_.load(); }
+  uint64_t user_victims() const { return user_victims_.load(); }
+  // Cumulative lock-wait the victims did NOT burn: remaining time until
+  // their timeout at the moment of victimization — what the paper's
+  // timeout-only resolution would have stalled.
+  uint64_t victim_wait_saved_ms() const { return victim_wait_saved_ms_.load(); }
 
   // --- lock history (Section 4.1 extension) -----------------------------
   void set_history_enabled(bool enabled) { history_enabled_ = enabled; }
@@ -68,8 +114,8 @@ class LockManager {
   // of objects the transaction ever locked (tracked by the transaction).
   void ForgetTxn(TxnId txn, const std::vector<ObjectId>& touched);
 
-  // Drops every lock, waiter, and history entry. Only used by crash
-  // simulation (lock tables are volatile state); no threads may be
+  // Drops every lock, waiter, history and waits-for entry. Only used by
+  // crash simulation (lock tables are volatile state); no threads may be
   // blocked in Acquire when this is called.
   void ClearAllState();
 
@@ -80,6 +126,11 @@ class LockManager {
     LockMode held = LockMode::kShared;
     LockMode want = LockMode::kShared;
     bool waiting = false;
+    // Set by the detector (under the shard mutex) when this pending
+    // request is cancelled to break a cycle; the owning thread notices on
+    // wakeup, withdraws, and returns Status::DeadlockVictim.
+    bool victim = false;
+    WaiterProfile profile;
   };
 
   struct LockEntry {
@@ -91,6 +142,14 @@ class LockManager {
     mutable std::mutex mu;
     std::unordered_map<ObjectId, std::shared_ptr<LockEntry>> entries;
     std::unordered_map<ObjectId, std::unordered_set<TxnId>> history;
+  };
+
+  // What a registered waiter is blocked on. The registry tells the
+  // detector *which* (txn, object) pairs to inspect; the ground truth for
+  // edges is always re-read from the shard queues under their mutexes.
+  struct WaitRecord {
+    ObjectId oid;
+    WaiterProfile profile;
   };
 
   static constexpr size_t kNumShards = 64;
@@ -110,8 +169,50 @@ class LockManager {
   // Caller holds the shard mutex.
   static bool TryGrant(LockEntry* entry);
 
+  static Request* FindRequest(LockEntry* entry, TxnId txn);
+
+  // Removes txn's pending request from entry — an upgrade reverts to its
+  // originally held mode, a fresh request is erased — then re-grants and
+  // prunes the entry if empty. The single exit path shared by timeout,
+  // deadlock-victim and wait-die cancellation, so none of them can leave
+  // a strengthened waiter or an empty entry behind. Caller holds the
+  // shard mutex.
+  void WithdrawRequest(Shard& shard, LockEntry* entry, ObjectId oid,
+                       TxnId txn);
+
+  // Waits-for registry (kDetect only). graph_mu_ is a strict leaf: it is
+  // taken while holding a shard mutex (registration, victim exit) and
+  // alone (snapshot); nothing is ever acquired under it.
+  void RegisterWaiter(TxnId txn, ObjectId oid, const WaiterProfile& profile);
+  void DeregisterWaiter(TxnId txn);
+
+  // One detection pass on behalf of blocked transaction `self`. Caller
+  // must NOT hold any shard mutex. Serialized by detector_mu_ (try-lock:
+  // a concurrent pass is already scanning; self retries next grace
+  // slice). Lock order: detector_mu_ -> one shard.mu at a time ->
+  // graph_mu_.
+  void RunDetection(TxnId self);
+
+  // Wait-die: may `mine` keep waiting? Dies (returns true) when younger
+  // (larger TxnId) than any incompatible holder. Re-evaluated on every
+  // wakeup, not just at block time, so grant reshuffles cannot leave a
+  // young-waits-for-old edge in place. Caller holds the shard mutex.
+  bool WaitDieShouldDie(const LockEntry& entry, const Request& mine) const;
+
   std::vector<Shard> shards_;
   bool history_enabled_ = false;
+
+  std::atomic<DeadlockPolicy> deadlock_policy_{kDefaultDeadlockPolicy};
+  std::atomic<VictimPolicy> victim_policy_{kDefaultVictimPolicy};
+
+  std::mutex graph_mu_;  // leaf; guards waiting_
+  std::unordered_map<TxnId, WaitRecord> waiting_;
+  std::mutex detector_mu_;  // serializes RunDetection passes
+
+  std::atomic<uint64_t> deadlocks_detected_{0};
+  std::atomic<uint64_t> victims_aborted_{0};
+  std::atomic<uint64_t> user_victims_{0};
+  std::atomic<uint64_t> victim_wait_saved_ms_{0};
 };
 
 }  // namespace brahma

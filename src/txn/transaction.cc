@@ -21,10 +21,22 @@ Status Transaction::Lock(ObjectId oid, LockMode mode) {
 Status Transaction::LockWithTimeout(ObjectId oid, LockMode mode,
                                     std::chrono::milliseconds timeout) {
   if (state_ != State::kActive) return Status::Aborted("txn not active");
-  Status s = ctx_.locks->Acquire(id_, oid, mode, timeout);
+  Status s = ctx_.locks->Acquire(id_, oid, mode, timeout, VictimProfile());
   if (!s.ok()) return s;
   if (held_.insert(oid).second) ever_locked_.push_back(oid);
   return Status::Ok();
+}
+
+WaiterProfile Transaction::VictimProfile() const {
+  WaiterProfile p;
+  p.reorg = source_ == LogSource::kReorg;
+  p.side_effects =
+      side_effect_log_ != nullptr ? side_effect_log_->entries() : 0;
+  p.locks_held = held_.size();
+  // Compensation in flight ("undo is never undone", §8): whatever lock
+  // this path needs, it must not itself be sacrificed mid-rollback.
+  p.no_victim = failpoint::ScopedSuppress::active();
+  return p;
 }
 
 void Transaction::Unlock(ObjectId oid) {
@@ -175,7 +187,7 @@ Status Transaction::CreateObjectWithContents(
   if (!data.empty()) std::memcpy(h->data(), data.data(), data.size());
   // The creator owns the object until it completes.
   Status ls = ctx_.locks->Acquire(id_, oid, LockMode::kExclusive,
-                                  ctx_.lock_timeout);
+                                  ctx_.lock_timeout, VictimProfile());
   if (ls.ok() && held_.insert(oid).second) ever_locked_.push_back(oid);
   *out = oid;
   return Status::Ok();

@@ -134,6 +134,9 @@ class Transaction {
       : mgr_(mgr), ctx_(ctx), id_(id), source_(source) {}
 
   Status RequireHeld(ObjectId oid, LockMode min_mode) const;
+  // Snapshot of this transaction for deadlock victim selection
+  // (DESIGN.md §10), taken at each blocking Acquire.
+  WaiterProfile VictimProfile() const;
   ObjectHeader* GetLive(ObjectId oid) const;
   Lsn AppendOwn(LogRecord rec);
   void UndoToEnd();
