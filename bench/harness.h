@@ -46,6 +46,16 @@ struct ExperimentConfig {
   // NR has no natural end; it runs for this long (reorg scenarios run
   // until the reorganization completes, as in the paper).
   double nr_duration_s = 2.0;
+  // Reorg scenarios normally end when the reorganization does, which
+  // makes the measurement window shrink as workers are added — fine for
+  // reorg-side metrics, but it confounds user-side throughput sweeps
+  // (the window composition changes with the sweep variable). Setting
+  // this keeps the driver running for at least this many seconds total:
+  // a fixed window containing one complete reorganization, so user tps
+  // is comparable across worker counts. Must exceed the slowest
+  // configuration's reorg time or the window degenerates to the old
+  // behavior.
+  double min_duration_s = 0;
   // Delay before the reorganization starts (lets the MPL threads warm up).
   double warmup_s = 0.05;
   // Commit-time log-force latency (models the disk force that gives the
@@ -59,6 +69,10 @@ struct ExperimentConfig {
   // Off = every committer queues a serial force of its own (the classic
   // no-group-commit discipline) — the bench ablation baseline.
   bool group_commit = true;
+  // Epoch-protected latch-free reads (DESIGN.md §11): user read steps
+  // skip the lock manager entirely. Off = the locked baseline where
+  // readers queue behind migration transactions' exclusive locks.
+  bool latchfree_reads = false;
   // Lock-wait timeout for deadlock resolution. The paper used 1 s on a
   // machine where a transaction averaged ~800 ms at MPL 30 — i.e., the
   // timeout was proportionate to a transaction. On hardware where the
@@ -164,6 +178,7 @@ inline ExperimentResult RunExperimentExact(const ExperimentConfig& cfg) {
                                          512ull);
   dopt.commit_flush_latency = cfg.flush_latency;
   dopt.group_commit = cfg.group_commit;
+  dopt.latchfree_reads = cfg.latchfree_reads;
   dopt.log_truncate_threshold = 500000;
   dopt.lock_timeout = cfg.lock_timeout;
   dopt.deadlock_policy = cfg.deadlock_policy;
@@ -192,6 +207,7 @@ inline ExperimentResult RunExperimentExact(const ExperimentConfig& cfg) {
     });
   } else {
     reorg_thread = std::thread([&]() {
+      Stopwatch window;
       std::this_thread::sleep_for(std::chrono::milliseconds(
           static_cast<int>(cfg.warmup_s * 1e3)));
       CopyOutPlanner planner(dst);
@@ -210,6 +226,11 @@ inline ExperimentResult RunExperimentExact(const ExperimentConfig& cfg) {
             pqr.Run(cfg.reorg_partition, &planner, opt, &result.reorg);
       }
       result.reorg_duration_ms = sw.ElapsedMillis();
+      double pad_ms = cfg.min_duration_s * 1e3 - window.ElapsedMillis();
+      if (pad_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(static_cast<int>(pad_ms)));
+      }
       stop.store(true);
     });
   }

@@ -1,0 +1,121 @@
+#include "common/epoch.h"
+
+#include <thread>
+
+namespace brahma {
+
+namespace {
+// Per-thread scan start hint: spreads threads across the slot array so
+// Enter usually claims a slot on its first CAS.
+thread_local uint32_t t_slot_hint = 0xffffffffu;
+}  // namespace
+
+uint32_t EpochManager::Enter() {
+  if (t_slot_hint == 0xffffffffu) {
+    // Derive a stable per-thread starting point from the stack address.
+    t_slot_hint = static_cast<uint32_t>(
+        (reinterpret_cast<uintptr_t>(&t_slot_hint) >> 6) % kEpochMaxSlots);
+  }
+  uint32_t idx = t_slot_hint;
+  for (;;) {
+    for (uint32_t probe = 0; probe < kEpochMaxSlots; ++probe) {
+      Slot& s = slots_[idx];
+      uint32_t expected = 0;
+      if (s.in_use.load(std::memory_order_relaxed) == 0 &&
+          s.in_use.compare_exchange_strong(expected, 1,
+                                           std::memory_order_acquire)) {
+        t_slot_hint = idx;
+        // Pin the current epoch and re-check until it is stable: the
+        // seq_cst store makes the pin visible to any advancer whose slot
+        // scan follows our re-check load in the total order, so no
+        // advancer can both miss this pin and have advanced before it.
+        uint64_t e = global_.load(std::memory_order_seq_cst);
+        for (;;) {
+          s.epoch.store(e, std::memory_order_seq_cst);
+          uint64_t g = global_.load(std::memory_order_seq_cst);
+          if (g == e) break;
+          e = g;
+        }
+        return idx;
+      }
+      idx = (idx + 1) % kEpochMaxSlots;
+    }
+    // All slots busy (pathological nesting depth): yield and rescan.
+    std::this_thread::yield();
+  }
+}
+
+void EpochManager::Exit(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.epoch.store(0, std::memory_order_release);
+  s.in_use.store(0, std::memory_order_release);
+}
+
+uint64_t EpochManager::MinPinned() const {
+  uint64_t m = UINT64_MAX;
+  for (uint32_t i = 0; i < kEpochMaxSlots; ++i) {
+    uint64_t e = slots_[i].epoch.load(std::memory_order_seq_cst);
+    if (e != 0 && e < m) m = e;
+  }
+  if (m == UINT64_MAX) m = global_.load(std::memory_order_seq_cst);
+  return m;
+}
+
+void EpochManager::Retire(std::function<void()> fn) {
+  // Order the caller's unpublish stores (poison magic, relocation flip)
+  // before the tag load: a reader that later pins an epoch greater than
+  // the tag is then guaranteed to observe the unpublish and fail
+  // validation rather than find a reclaimable object.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  uint64_t e = global_.load(std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> g(retire_mu_);
+    retired_.push_back(Retired{e, std::move(fn)});
+  }
+  AdvanceAndDrain();
+}
+
+size_t EpochManager::AdvanceAndDrain() {
+  std::vector<std::function<void()>> run;
+  {
+    std::lock_guard<std::mutex> g(drain_mu_);
+    uint64_t cur = global_.load(std::memory_order_seq_cst);
+    if (MinPinned() >= cur) {
+      global_.store(cur + 1, std::memory_order_seq_cst);
+      epochs_advanced_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const uint64_t min_now = MinPinned();
+    std::lock_guard<std::mutex> r(retire_mu_);
+    // Entries are not epoch-sorted (concurrent retirers may interleave
+    // across an advance), so scan the whole list.
+    for (auto it = retired_.begin(); it != retired_.end();) {
+      if (it->epoch < min_now) {
+        run.push_back(std::move(it->fn));
+        it = retired_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& f : run) f();
+  if (!run.empty()) {
+    drains_.fetch_add(run.size(), std::memory_order_relaxed);
+  }
+  return run.size();
+}
+
+size_t EpochManager::ForceDrainAll() {
+  std::deque<Retired> all;
+  {
+    std::lock_guard<std::mutex> g(drain_mu_);
+    std::lock_guard<std::mutex> r(retire_mu_);
+    all.swap(retired_);
+  }
+  for (auto& e : all) e.fn();
+  if (!all.empty()) {
+    drains_.fetch_add(all.size(), std::memory_order_relaxed);
+  }
+  return all.size();
+}
+
+}  // namespace brahma

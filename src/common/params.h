@@ -86,6 +86,20 @@ enum class VictimPolicy : uint8_t { kReorgFirst, kYoungest };
 inline constexpr DeadlockPolicy kDefaultDeadlockPolicy = DeadlockPolicy::kDetect;
 inline constexpr VictimPolicy kDefaultVictimPolicy = VictimPolicy::kReorgFirst;
 
+// Epoch-based reclamation for the latch-free read path (DESIGN.md §11).
+//
+// kEpochMaxSlots bounds concurrent guard pins (threads x nesting depth);
+// an Enter never blocks below that bound. 256 is ~8x the largest bench
+// thread count with nested traversal guards on every thread.
+//
+// kEpochRelocationMaxHops caps how many old -> new relocation hops a
+// latch-free reader chases before declaring a reference stale. Each hop
+// is one completed migration of the same object during the reader's
+// walk; two is already rare, so 8 only guards against a pathological
+// publish cycle.
+inline constexpr uint32_t kEpochMaxSlots = 256;
+inline constexpr uint32_t kEpochRelocationMaxHops = 8;
+
 // How long a blocked Acquire waits before running detection, and then
 // between detection passes. Cycles persist until broken, so a short grace
 // only delays resolution by ~one slice while keeping detection off the

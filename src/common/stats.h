@@ -75,6 +75,14 @@ struct ReorgStats {
   std::atomic<uint64_t> deadlocks_detected{0};
   std::atomic<uint64_t> victims_aborted{0};
   std::atomic<uint64_t> victim_wait_ms_saved{0};
+  // Latch-free read path (delta of the shared EpochManager counters over
+  // this run, like group_commit_batches): user reads served with zero
+  // lock-manager traffic under an epoch guard, global epoch advances,
+  // and retired arena ranges whose grace period elapsed and were
+  // returned to the allocator.
+  std::atomic<uint64_t> latchfree_reads{0};
+  std::atomic<uint64_t> epoch_advances{0};
+  std::atomic<uint64_t> retire_drains{0};
   // Failpoint triggers observed during this run (delta of the global
   // trigger counter; attributes concurrent-mutator triggers to the run
   // they overlapped, which is what fault-injection reports want).
@@ -108,6 +116,9 @@ struct ReorgStats {
     deadlocks_detected.store(other.deadlocks_detected.load());
     victims_aborted.store(other.victims_aborted.load());
     victim_wait_ms_saved.store(other.victim_wait_ms_saved.load());
+    latchfree_reads.store(other.latchfree_reads.load());
+    epoch_advances.store(other.epoch_advances.load());
+    retire_drains.store(other.retire_drains.load());
     faults_injected.store(other.faults_injected.load());
     duration_ms = other.duration_ms;
     std::scoped_lock l(relocation_mu_, other.relocation_mu_);

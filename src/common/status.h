@@ -77,6 +77,7 @@ class Status {
   }
 
   bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
   bool IsTimedOut() const { return code_ == Code::kTimedOut; }
   bool IsBusy() const { return code_ == Code::kBusy; }

@@ -7,8 +7,10 @@
 namespace brahma {
 
 Database::Database(const DatabaseOptions& options) : options_(options) {
+  epoch_ = std::make_unique<EpochManager>();
   store_ = std::make_unique<ObjectStore>(options.num_data_partitions,
                                          options.partition_capacity);
+  store_->set_epoch_manager(epoch_.get());
   log_ = std::make_unique<LogManager>(options.commit_flush_latency);
   log_->set_group_commit(options.group_commit);
   locks_ = std::make_unique<LockManager>();
@@ -24,6 +26,8 @@ Database::Database(const DatabaseOptions& options) : options_(options) {
   ctx.log = log_.get();
   ctx.locks = locks_.get();
   ctx.checkpoint_latch = &checkpoint_latch_;
+  ctx.epoch = epoch_.get();
+  ctx.latchfree_reads = options.latchfree_reads;
   ctx.lock_timeout = options.lock_timeout;
   ctx.strict_2pl = options.strict_2pl;
   txns_ = std::make_unique<TransactionManager>(ctx);
@@ -35,7 +39,12 @@ Database::Database(const DatabaseOptions& options) : options_(options) {
   analyzer_->Start(options.analyzer_mode);
 }
 
-Database::~Database() { analyzer_->Stop(); }
+Database::~Database() {
+  analyzer_->Stop();
+  // All client threads are gone; release every retired arena range while
+  // the store (whose partitions the callbacks reference) is still alive.
+  epoch_->ForceDrainAll();
+}
 
 void Database::MaybeTruncateLog() {
   if (options_.log_truncate_threshold == 0) return;
@@ -86,6 +95,11 @@ void Database::SimulateCrash() {
   locks_->ClearAllState();
   txns_->Reset();
   trt_->Disable();
+  // Grace periods are volatile state: every reader thread died with the
+  // crash, so all pending retirements drain now. Recovery then works on
+  // an arena whose free list is exact (redo may AllocateAt into ranges
+  // that were still awaiting their grace period).
+  epoch_->ForceDrainAll();
 }
 
 Status Database::Recover() {

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <memory>
 
+#include "common/epoch.h"
 #include "common/latch.h"
 #include "common/params.h"
 #include "core/ert.h"
@@ -46,6 +47,16 @@ struct DatabaseOptions {
   // waits-for graph detection (default), wait-die, or the paper's
   // timeout-only baseline. See common/params.h and DESIGN.md §10.
   DeadlockPolicy deadlock_policy = kDefaultDeadlockPolicy;
+
+  // Epoch-protected latch-free read path (DESIGN.md §11): ReadRefs/
+  // ReadRef/ReadData need no logical lock — they run under an epoch
+  // guard, chase the store's relocation table past in-flight migrations,
+  // and snapshot under the short per-object latch only. Removes the
+  // reader-vs-migration lock queueing the paper's Section 5 experiments
+  // pay for; kept as a knob so benches can ablate it. Readers may observe
+  // uncommitted (dirty) state — equivalent to degree-1 isolation for
+  // reads — which the read-mostly navigation workloads here accept.
+  bool latchfree_reads = false;
 
   // If false, transactions may release object locks early (Section 4.1);
   // the reorganizer must then run with wait_for_historical_lockers and
@@ -89,10 +100,12 @@ class Database {
   ErtSet& erts() { return *erts_; }
   Trt& trt() { return *trt_; }
   LogAnalyzer& analyzer() { return *analyzer_; }
+  EpochManager& epoch() { return *epoch_; }
 
   ReorgContext reorg_context() {
-    return ReorgContext{store_.get(), txns_.get(), locks_.get(), log_.get(),
-                        erts_.get(), trt_.get(), analyzer_.get()};
+    return ReorgContext{store_.get(),    txns_.get(), locks_.get(),
+                        log_.get(),      erts_.get(), trt_.get(),
+                        analyzer_.get(), epoch_.get()};
   }
 
   // Convenience runners.
@@ -126,6 +139,11 @@ class Database {
 
   DatabaseOptions options_;
   std::atomic<bool> truncating_{false};
+  // Declared before store_: retire callbacks reference partition arenas,
+  // so the epoch manager (whose destructor drains them) must be destroyed
+  // only after ~Database has already force-drained, and must never
+  // outlive a store that is still queueing retirements.
+  std::unique_ptr<EpochManager> epoch_;
   std::unique_ptr<ObjectStore> store_;
   std::unique_ptr<LogManager> log_;
   std::unique_ptr<LockManager> locks_;

@@ -1,9 +1,16 @@
 #include "core/fuzzy_traversal.h"
 
+#include "common/epoch.h"
+
 namespace brahma {
 
 bool ReadRefsLatched(ObjectStore* store, ObjectId oid,
                      std::vector<ObjectId>* out) {
+  // Pin reclamation across the Get -> latch window: without it a block
+  // retired (and, with no other pins, immediately drained and
+  // reallocated) between the two steps could have its latch word
+  // re-initialized under our acquisition.
+  EpochGuard epoch_guard(store->epoch_manager());
   ObjectHeader* h = store->Get(oid);
   if (h == nullptr) return false;
   out->clear();
@@ -20,6 +27,7 @@ bool ReadRefsLatched(ObjectStore* store, ObjectId oid,
 
 bool ReadRefSlotsLatched(ObjectStore* store, ObjectId oid,
                          std::vector<ObjectId>* out) {
+  EpochGuard epoch_guard(store->epoch_manager());
   ObjectHeader* h = store->Get(oid);
   if (h == nullptr) return false;
   out->clear();
@@ -69,6 +77,9 @@ void FuzzyTraversal::TopUp(PartitionId p, TraversalResult* result) {
 void FuzzyTraversal::TraverseFrom(PartitionId p,
                                   const std::vector<ObjectId>& seeds,
                                   TraversalResult* result) {
+  // Pin reclamation for the sweep (no-op when epoch_ is null): blocks a
+  // sibling worker retires stay stable poison while we probe them.
+  EpochGuard epoch_guard(epoch_);
   std::vector<ObjectId> stack;
   for (ObjectId s : seeds) {
     if (s.partition() == p && result->traversed.insert(s).second) {

@@ -12,6 +12,8 @@
 
 namespace brahma {
 
+class EpochManager;
+
 struct TraversalResult {
   std::unordered_set<ObjectId> traversed;
   ParentLists parents;  // approximate parent lists
@@ -42,9 +44,16 @@ bool ReadRefSlotsLatched(ObjectStore* store, ObjectId oid,
 // per object by Find_Exact_Parents.
 class FuzzyTraversal {
  public:
+  // epoch is optional: when present, each traversal sweep runs inside an
+  // epoch guard so that a concurrently retired block the sweep still
+  // probes (Get -> latch) cannot have its bytes recycled mid-probe.
   FuzzyTraversal(ObjectStore* store, ErtSet* erts, Trt* trt,
-                 LogAnalyzer* analyzer)
-      : store_(store), erts_(erts), trt_(trt), analyzer_(analyzer) {}
+                 LogAnalyzer* analyzer, EpochManager* epoch = nullptr)
+      : store_(store),
+        erts_(erts),
+        trt_(trt),
+        analyzer_(analyzer),
+        epoch_(epoch) {}
 
   TraversalResult Run(PartitionId p);
 
@@ -63,6 +72,7 @@ class FuzzyTraversal {
   ErtSet* erts_;
   Trt* trt_;
   LogAnalyzer* analyzer_;
+  EpochManager* epoch_;
 };
 
 }  // namespace brahma

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/clock.h"
+#include "common/epoch.h"
 #include "common/failpoint.h"
 #include "core/fuzzy_traversal.h"
 #include "core/migration_pipe.h"
@@ -54,6 +55,12 @@ Status IraReorganizer::Run(PartitionId p, RelocationPlanner* planner,
   const uint64_t dd_before = ctx_.locks->deadlocks_detected();
   const uint64_t va_before = ctx_.locks->victims_aborted();
   const uint64_t vw_before = ctx_.locks->victim_wait_saved_ms();
+  const uint64_t ea_before =
+      ctx_.epoch != nullptr ? ctx_.epoch->epochs_advanced() : 0;
+  const uint64_t rd_before =
+      ctx_.epoch != nullptr ? ctx_.epoch->retire_drains() : 0;
+  const uint64_t lf_before =
+      ctx_.epoch != nullptr ? ctx_.epoch->latchfree_reads() : 0;
   const DeadlockPolicy saved_policy = ctx_.locks->deadlock_policy();
   if (options.wait_die) {
     ctx_.locks->set_deadlock_policy(DeadlockPolicy::kWaitDie);
@@ -76,7 +83,8 @@ Status IraReorganizer::Run(PartitionId p, RelocationPlanner* planner,
   ctx_.txns->WaitForAll(ctx_.txns->ActiveTxns());
 
   // Step 1: Find_Objects_And_Approx_Parents.
-  FuzzyTraversal traversal(ctx_.store, ctx_.erts, ctx_.trt, ctx_.analyzer);
+  FuzzyTraversal traversal(ctx_.store, ctx_.erts, ctx_.trt, ctx_.analyzer,
+                           ctx_.epoch);
   TraversalResult tr = traversal.Run(p);
   stats->traversal_visited = tr.objects_visited;
 
@@ -113,6 +121,17 @@ Status IraReorganizer::Run(PartitionId p, RelocationPlanner* planner,
   stats->victims_aborted += ctx_.locks->victims_aborted() - va_before;
   stats->victim_wait_ms_saved +=
       ctx_.locks->victim_wait_saved_ms() - vw_before;
+  if (ctx_.epoch != nullptr) {
+    // Give retirements queued at the tail of the run a drain pass now
+    // that the migration transactions are done: compaction accounting
+    // (and the fragmentation assertions in tests) wants O_old's holes
+    // back as soon as the last reader's grace period allows. Then fold
+    // the shared epoch counters as deltas, like the group-commit ones.
+    ctx_.epoch->AdvanceAndDrain();
+    stats->epoch_advances += ctx_.epoch->epochs_advanced() - ea_before;
+    stats->retire_drains += ctx_.epoch->retire_drains() - rd_before;
+    stats->latchfree_reads += ctx_.epoch->latchfree_reads() - lf_before;
+  }
   return result;
 }
 
@@ -134,6 +153,12 @@ Status IraReorganizer::Resume(const ReorgCheckpoint& checkpoint,
   const uint64_t dd_before = ctx_.locks->deadlocks_detected();
   const uint64_t va_before = ctx_.locks->victims_aborted();
   const uint64_t vw_before = ctx_.locks->victim_wait_saved_ms();
+  const uint64_t ea_before =
+      ctx_.epoch != nullptr ? ctx_.epoch->epochs_advanced() : 0;
+  const uint64_t rd_before =
+      ctx_.epoch != nullptr ? ctx_.epoch->retire_drains() : 0;
+  const uint64_t lf_before =
+      ctx_.epoch != nullptr ? ctx_.epoch->latchfree_reads() : 0;
   const DeadlockPolicy saved_policy = ctx_.locks->deadlock_policy();
   if (options.wait_die) {
     ctx_.locks->set_deadlock_policy(DeadlockPolicy::kWaitDie);
@@ -169,6 +194,9 @@ Status IraReorganizer::Resume(const ReorgCheckpoint& checkpoint,
   for (const auto& [old_id, new_id] : checkpoint.relocation) {
     migrated.Insert(old_id);
     stats->AddRelocation(old_id, new_id);
+    // Re-arm the store-level chase table for latch-free readers holding
+    // pre-crash ids (the table is volatile; the checkpoint is its redo).
+    ctx_.store->PublishRelocation(old_id, new_id);
     RecordReverseRelocation(new_id, old_id);
   }
   // Patch for migrations that committed after the checkpoint: their old
@@ -186,6 +214,7 @@ Status IraReorganizer::Resume(const ReorgCheckpoint& checkpoint,
     }
     migrated.Insert(old_id);
     stats->AddRelocation(old_id, new_id);
+    ctx_.store->PublishRelocation(old_id, new_id);
     RecordReverseRelocation(new_id, old_id);
     tr.parents.ReplaceParentEverywhere(old_id, new_id);
     tr.parents.Erase(old_id);
@@ -193,7 +222,8 @@ Status IraReorganizer::Resume(const ReorgCheckpoint& checkpoint,
 
   // Top up the traversal from TRT-referenced objects only — the
   // checkpoint spares us the full partition traversal.
-  FuzzyTraversal traversal(ctx_.store, ctx_.erts, ctx_.trt, ctx_.analyzer);
+  FuzzyTraversal traversal(ctx_.store, ctx_.erts, ctx_.trt, ctx_.analyzer,
+                           ctx_.epoch);
   traversal.TopUp(p, &tr);
   stats->traversal_visited = tr.traversed.size();
 
@@ -217,6 +247,17 @@ Status IraReorganizer::Resume(const ReorgCheckpoint& checkpoint,
   stats->victims_aborted += ctx_.locks->victims_aborted() - va_before;
   stats->victim_wait_ms_saved +=
       ctx_.locks->victim_wait_saved_ms() - vw_before;
+  if (ctx_.epoch != nullptr) {
+    // Give retirements queued at the tail of the run a drain pass now
+    // that the migration transactions are done: compaction accounting
+    // (and the fragmentation assertions in tests) wants O_old's holes
+    // back as soon as the last reader's grace period allows. Then fold
+    // the shared epoch counters as deltas, like the group-commit ones.
+    ctx_.epoch->AdvanceAndDrain();
+    stats->epoch_advances += ctx_.epoch->epochs_advanced() - ea_before;
+    stats->retire_drains += ctx_.epoch->retire_drains() - rd_before;
+    stats->latchfree_reads += ctx_.epoch->latchfree_reads() - lf_before;
+  }
   return result;
 }
 
@@ -1102,6 +1143,7 @@ Status IraReorganizer::MigrateTwoLock(ObjectId oid, PartitionId p,
   std::vector<ObjectId> refs;
   std::vector<uint8_t> data;
   {
+    EpochGuard epoch_guard(ctx_.epoch);
     ObjectHeader* h = ctx_.store->Get(oid);
     if (h == nullptr) return bail(Status::NotFound("two-lock source vanished"));
     SharedLatchGuard g(&h->latch);

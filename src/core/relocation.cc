@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "common/epoch.h"
 #include "common/failpoint.h"
 #include "core/fuzzy_traversal.h"
 #include "core/side_effect_log.h"
@@ -49,6 +50,9 @@ void ClusteringPlanner::Order(std::vector<ObjectId>* objects) {
 }
 
 bool IsParentOf(ObjectStore* store, ObjectId parent, ObjectId child) {
+  // Epoch pin: keeps the Get -> latch window safe against a sibling
+  // retiring, draining, and reinitializing this block (see DESIGN.md §11).
+  EpochGuard epoch_guard(store->epoch_manager());
   ObjectHeader* h = store->Get(parent);
   if (h == nullptr) return false;
   SharedLatchGuard g(&h->latch);
@@ -63,10 +67,11 @@ Status RewriteParentEdge(const ReorgContext& ctx, Transaction* txn,
                          ObjectId parent, ObjectId oid, ObjectId onew,
                          PartitionId reorg_partition, bool* had_edge) {
   if (had_edge != nullptr) *had_edge = false;
-  ObjectHeader* ph = ctx.store->Get(parent);
-  if (ph == nullptr) return Status::Ok();  // pruned/stale parent
   std::vector<uint32_t> slots;
   {
+    EpochGuard epoch_guard(ctx.store->epoch_manager());
+    ObjectHeader* ph = ctx.store->Get(parent);
+    if (ph == nullptr) return Status::Ok();  // pruned/stale parent
     SharedLatchGuard g(&ph->latch);
     if (!ph->IsLive() || ph->self != parent.raw()) return Status::Ok();
     for (uint32_t i = 0; i < ph->num_refs; ++i) {
@@ -136,10 +141,11 @@ Status FinishMigration(const ReorgContext& ctx, Transaction* txn,
   // Resolve any self references in O_new first (they must follow the
   // object to its new identity).
   {
-    ObjectHeader* nh = ctx.store->Get(onew);
-    if (nh == nullptr) return Status::Internal("O_new vanished");
     std::vector<uint32_t> self_slots;
     {
+      EpochGuard epoch_guard(ctx.store->epoch_manager());
+      ObjectHeader* nh = ctx.store->Get(onew);
+      if (nh == nullptr) return Status::Internal("O_new vanished");
       SharedLatchGuard g(&nh->latch);
       for (uint32_t i = 0; i < nh->num_refs; ++i) {
         if (nh->refs()[i] == oid) self_slots.push_back(i);
@@ -251,6 +257,19 @@ Status FinishMigration(const ReorgContext& ctx, Transaction* txn,
   // observes O_old dead (under its header latch) must be able to chase
   // O_old -> O_new in the relocation map, or it would silently skip the
   // rewrite of a parent that now lives under the new identity.
+  // The store-level table additionally serves latch-free readers: a
+  // reader that loses the race against the free below sees O_old
+  // poisoned and chases this entry to O_new instead of aborting. An
+  // aborted migration MUST retract it before O_new is rolled back or a
+  // reader would chase into a retired copy (the retraction runs before
+  // lock release, and the undo of O_new's create is itself
+  // epoch-deferred, so a reader already past the chase stays safe).
+  ctx.store->PublishRelocation(oid, onew);
+  if (sel != nullptr) {
+    ObjectStore* store = ctx.store;
+    sel->Record(txn->id(), SideEffectLog::Kind::kRelocation,
+                [store, oid] { store->RetractRelocation(oid); });
+  }
   if (stats != nullptr) {
     stats->AddRelocation(oid, onew);
     if (sel != nullptr) {
@@ -258,7 +277,10 @@ Status FinishMigration(const ReorgContext& ctx, Transaction* txn,
                   [stats, oid] { stats->RemoveRelocation(oid); });
     }
   }
-  // Delete O_old.
+  // Delete O_old. The free is epoch-deferred (Transaction::FreeObject
+  // retires rather than frees), closing the publish-before-free window:
+  // a reader holding O_old's header pointer across the flip observes
+  // stable poison, never recycled bytes.
   Status s = txn->FreeObject(oid);
   if (!s.ok()) return s;
 
@@ -341,6 +363,7 @@ Status CompleteInterruptedMigration(const ReorgContext& ctx, ObjectId old_id,
       }
     }
   }
+  ctx.store->PublishRelocation(old_id, new_id);
   Status s = txn->FreeObject(old_id);
   if (!s.ok()) {
     txn->Abort();
@@ -357,15 +380,16 @@ Status MoveObjectAndUpdateRefs(const ReorgContext& ctx, Transaction* txn,
                                const MigratedSet* migrated,
                                ParentLists* plists, ReorgStats* stats,
                                ObjectId* new_id) {
-  ObjectHeader* h = ctx.store->Get(oid);
-  if (h == nullptr) {
-    return Status::NotFound("migration source not live: " + oid.ToString());
-  }
-
-  // Copy O_old's contents (parents are all locked; latch anyway).
+  // Copy O_old's contents (parents are all locked; latch anyway, under an
+  // epoch pin so the block cannot be recycled between Get and the latch).
   std::vector<ObjectId> refs;
   std::vector<uint8_t> data;
   {
+    EpochGuard epoch_guard(ctx.store->epoch_manager());
+    ObjectHeader* h = ctx.store->Get(oid);
+    if (h == nullptr) {
+      return Status::NotFound("migration source not live: " + oid.ToString());
+    }
     SharedLatchGuard g(&h->latch);
     refs.assign(h->refs(), h->refs() + h->num_refs);
     data.assign(h->data(), h->data() + h->data_size);

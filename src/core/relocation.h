@@ -26,6 +26,9 @@ struct ReorgContext {
   ErtSet* erts = nullptr;
   Trt* trt = nullptr;
   LogAnalyzer* analyzer = nullptr;
+  // Epoch-based reclamation (DESIGN.md §11); null when reorg runs against
+  // a bare store without the latch-free read machinery.
+  EpochManager* epoch = nullptr;
 };
 
 // Decides where migrated objects go and in what order they migrate. The

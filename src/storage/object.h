@@ -47,7 +47,22 @@ struct ObjectHeader {
 
   ObjectId id() const { return ObjectId::FromRaw(self); }
 
-  bool IsLive() const { return magic == kLiveMagic; }
+  // The magic word doubles as the publish/retire flag for latch-free
+  // readers (DESIGN.md §11): initialization stores it with release
+  // ordering as its LAST write, poisoning stores kFreeMagic with release
+  // ordering, and this acquire load is the only field a reader touches
+  // before it has synchronized — so a reader that observes kLiveMagic
+  // also observes every other header field and the initial contents, and
+  // a reader that can no longer be fenced out by locks observes the
+  // poison rather than a half-reclaimed block.
+  bool IsLive() const {
+    return std::atomic_ref<uint32_t>(const_cast<uint32_t&>(magic))
+               .load(std::memory_order_acquire) == kLiveMagic;
+  }
+
+  void StoreMagic(uint32_t value) {
+    std::atomic_ref<uint32_t>(magic).store(value, std::memory_order_release);
+  }
 
   static uint32_t BlockSize(uint32_t num_refs, uint32_t data_size) {
     uint32_t raw = static_cast<uint32_t>(sizeof(ObjectHeader)) +

@@ -1,5 +1,7 @@
 #include "storage/object_store.h"
 
+#include "common/epoch.h"
+
 namespace brahma {
 
 ObjectStore::ObjectStore(uint32_t num_data_partitions,
@@ -37,6 +39,46 @@ Status ObjectStore::FreeObject(ObjectId id) {
     return Status::InvalidArgument("bad partition");
   }
   return partitions_[id.partition()]->Free(id.offset());
+}
+
+Status ObjectStore::RetireObject(ObjectId id) {
+  if (id.partition() >= partitions_.size()) {
+    return Status::InvalidArgument("bad partition");
+  }
+  if (epoch_ == nullptr) return FreeObject(id);
+  Partition* part = partitions_[id.partition()].get();
+  uint64_t size = 0;
+  uint32_t seq = 0;
+  Status s = part->PoisonForRetire(id.offset(), &size, &seq);
+  if (!s.ok()) return s;
+  const uint64_t off = id.offset();
+  epoch_->Retire([part, off, size, seq] {
+    part->ReleaseRetired(off, size, seq);
+  });
+  return Status::Ok();
+}
+
+void ObjectStore::PublishRelocation(ObjectId from, ObjectId to) {
+  std::lock_guard<std::mutex> g(reloc_mu_);
+  relocations_[from] = to;
+}
+
+void ObjectStore::RetractRelocation(ObjectId from) {
+  std::lock_guard<std::mutex> g(reloc_mu_);
+  relocations_.erase(from);
+}
+
+bool ObjectStore::ChaseRelocation(ObjectId from, ObjectId* to) const {
+  std::lock_guard<std::mutex> g(reloc_mu_);
+  auto it = relocations_.find(from);
+  if (it == relocations_.end()) return false;
+  *to = it->second;
+  return true;
+}
+
+size_t ObjectStore::RelocationTableSize() const {
+  std::lock_guard<std::mutex> g(reloc_mu_);
+  return relocations_.size();
 }
 
 ObjectHeader* ObjectStore::Get(ObjectId id) {

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -10,6 +12,8 @@
 #include "storage/partition.h"
 
 namespace brahma {
+
+class EpochManager;
 
 // The collection of partitions making up the database. Partition 0 is the
 // root partition: it holds the persistent root object (the paper assumes
@@ -38,6 +42,30 @@ class ObjectStore {
   Status CreateObjectAt(ObjectId id, uint32_t num_refs, uint32_t data_size);
   Status FreeObject(ObjectId id);
 
+  // Epoch-deferred free (DESIGN.md §11): poisons the block immediately so
+  // no new reader can observe it live, but defers returning its range to
+  // the allocator until every epoch guard that was open at retirement has
+  // closed. Falls back to an immediate FreeObject when no epoch manager is
+  // attached (recovery, stores built outside a Database).
+  Status RetireObject(ObjectId id);
+
+  // Wires the epoch subsystem in. Not owned; must outlive the store. The
+  // store itself never advances epochs — it only queues retirements.
+  void set_epoch_manager(EpochManager* epoch) { epoch_ = epoch; }
+  EpochManager* epoch_manager() const { return epoch_; }
+
+  // --- store-level relocation table (latch-free read path) ---------------
+  // Migration publishes old -> new here (after the new copy is fully
+  // initialized and WAL-logged) so that latch-free readers holding a stale
+  // ObjectId can chase it to the live copy without consulting any lock.
+  // An aborting migration MUST retract its publication before the new copy
+  // is rolled back. Entries persist until the store is rebuilt (identity
+  // mappings are stable: an old id is never reused while mapped).
+  void PublishRelocation(ObjectId from, ObjectId to);
+  void RetractRelocation(ObjectId from);
+  bool ChaseRelocation(ObjectId from, ObjectId* to) const;
+  size_t RelocationTableSize() const;
+
   // Returns the header for a live object with a matching identity, or
   // nullptr if the reference is stale (freed / migrated / garbage).
   ObjectHeader* Get(ObjectId id);
@@ -54,6 +82,10 @@ class ObjectStore {
  private:
   std::vector<std::unique_ptr<Partition>> partitions_;
   ObjectId persistent_root_;
+  EpochManager* epoch_ = nullptr;
+
+  mutable std::mutex reloc_mu_;
+  std::unordered_map<ObjectId, ObjectId> relocations_;
 };
 
 }  // namespace brahma

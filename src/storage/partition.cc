@@ -44,8 +44,26 @@ Status Partition::AllocateAt(uint64_t offset, uint32_t num_refs,
   const uint32_t block = ObjectHeader::BlockSize(num_refs, data_size);
   std::lock_guard<std::mutex> g(mu_);
   Status s = AllocateLocked(offset, block);
-  if (!s.ok()) return s;
-  InitializeObject(offset, num_refs, data_size);
+  bool resurrect = false;
+  if (!s.ok()) {
+    // Resurrection of an epoch-retired block: undo of a free (or redo of
+    // its CLR) recreates the object at its exact old offset while the
+    // range is still poisoned-but-unreleased — not in the free list, so
+    // AllocateLocked cannot carve it. Re-initialize in place; the stale
+    // retirement sequence then makes the pending ReleaseRetired a no-op.
+    ObjectHeader* h = HeaderAt(offset);
+    if (h == nullptr || offset + block > high_water_ ||
+        h->magic != ObjectHeader::kFreeMagic || h->block_size != block) {
+      return s;
+    }
+    auto hole = free_list_.upper_bound(offset);
+    if (hole != free_list_.begin()) {
+      auto prev = std::prev(hole);
+      if (offset < prev->first + prev->second) return s;  // inside a hole
+    }
+    resurrect = true;
+  }
+  InitializeObject(offset, num_refs, data_size, resurrect);
   return Status::Ok();
 }
 
@@ -80,16 +98,32 @@ Status Partition::AllocateLocked(uint64_t offset, uint32_t block) {
 }
 
 void Partition::InitializeObject(uint64_t offset, uint32_t num_refs,
-                                 uint32_t data_size) {
-  ObjectHeader* h = new (arena_.get() + offset) ObjectHeader();
-  h->magic = ObjectHeader::kLiveMagic;
-  h->block_size = ObjectHeader::BlockSize(num_refs, data_size);
-  h->num_refs = num_refs;
-  h->data_size = data_size;
-  h->self = ObjectId(id_, offset).raw();
-  h->pad = 0;
-  for (uint32_t i = 0; i < num_refs; ++i) h->refs()[i] = ObjectId::Invalid();
-  std::memset(h->data(), 0, data_size);
+                                 uint32_t data_size, bool resurrect) {
+  ObjectHeader* h = reinterpret_cast<ObjectHeader*>(arena_.get() + offset);
+  // Publish protocol (DESIGN.md §11): the magic word is stored atomically
+  // and is the LAST field written, with release ordering, so a latch-free
+  // reader that loads kLiveMagic (acquire) also observes every other
+  // header field, the invalid refs, and the zeroed data. Until then the
+  // block reads as non-live (zero, stale kFreeMagic, or arbitrary hole
+  // bytes) and readers bail out before touching the latch.
+  h->StoreMagic(0);
+  if (!resurrect) {
+    new (&h->latch) SharedLatch();
+  }
+  {
+    // Resurrection reuses the latch word in place — a dangling latch-free
+    // reader may concurrently acquire it to observe the poison, so it must
+    // not be re-constructed; instead the rewrite is fenced by it.
+    ExclusiveLatchGuard lg(&h->latch);
+    h->block_size = ObjectHeader::BlockSize(num_refs, data_size);
+    h->num_refs = num_refs;
+    h->data_size = data_size;
+    h->self = ObjectId(id_, offset).raw();
+    h->pad = 0;
+    for (uint32_t i = 0; i < num_refs; ++i) h->refs()[i] = ObjectId::Invalid();
+    std::memset(h->data(), 0, data_size);
+    h->StoreMagic(ObjectHeader::kLiveMagic);
+  }
 }
 
 Status Partition::Free(uint64_t offset) {
@@ -103,10 +137,44 @@ Status Partition::Free(uint64_t offset) {
     // Poison under the object latch so latched readers (fuzzy traversal,
     // undo re-validation) never see a half-freed block.
     ExclusiveLatchGuard lg(&h->latch);
-    h->magic = ObjectHeader::kFreeMagic;
+    h->pad = 0;  // no retirement sequence: defeats any stale ReleaseRetired
+    h->StoreMagic(ObjectHeader::kFreeMagic);
   }
   FreeRangeLocked(offset, size);
   return Status::Ok();
+}
+
+Status Partition::PoisonForRetire(uint64_t offset, uint64_t* size,
+                                  uint32_t* seq) {
+  std::lock_guard<std::mutex> g(mu_);
+  ObjectHeader* h = HeaderAt(offset);
+  if (h == nullptr || !h->IsLive()) {
+    return Status::Corruption("retire of non-live block");
+  }
+  *size = h->block_size;
+  *seq = ++retire_seq_;  // 0 is reserved for "never retired"
+  {
+    // Same poison discipline as Free, but the range stays OUT of the free
+    // list until ReleaseRetired — latch-free readers that already hold the
+    // raw header pointer keep reading stable poison, never recycled bytes.
+    ExclusiveLatchGuard lg(&h->latch);
+    h->pad = *seq;
+    h->StoreMagic(ObjectHeader::kFreeMagic);
+  }
+  return Status::Ok();
+}
+
+void Partition::ReleaseRetired(uint64_t offset, uint64_t size, uint32_t seq) {
+  std::lock_guard<std::mutex> g(mu_);
+  ObjectHeader* h = HeaderAt(offset);
+  if (h == nullptr) return;
+  // The block may have been resurrected (AllocateAt re-created the object
+  // in place: live magic, pad cleared) or re-retired under a newer
+  // sequence since this retirement was queued; in both cases the newer
+  // owner of the range is responsible for it and this callback must not
+  // return the bytes to the allocator.
+  if (h->magic != ObjectHeader::kFreeMagic || h->pad != seq) return;
+  FreeRangeLocked(offset, size);
 }
 
 // Inserts a hole and coalesces with neighbours. Caller holds mu_.
@@ -210,6 +278,11 @@ void Partition::Restore(const Image& image) {
   high_water_ = image.high_water;
   free_list_ = image.free_list;
   // Reset latch words: latches are volatile state and must come up free.
+  // Grace periods are volatile too: a non-live block outside the free
+  // list is a retirement whose epoch drain had not run when the snapshot
+  // was taken (a pinned reader held it open). No reader survives a
+  // restart, so reclaim the range now — redo may AllocateAt into it.
+  std::vector<std::pair<uint64_t, uint64_t>> poisoned;
   uint64_t off = kBaseOffset;
   while (off < high_water_) {
     auto hole = free_list_.find(off);
@@ -221,8 +294,14 @@ void Partition::Restore(const Image& image) {
     if (h == nullptr || h->block_size == 0) break;
     if (h->IsLive()) {
       new (&h->latch) SharedLatch();
+    } else {
+      h->pad = 0;  // cancel the pending retirement stamp
+      poisoned.emplace_back(off, h->block_size);
     }
     off += h->block_size;
+  }
+  for (const auto& [poff, psize] : poisoned) {
+    FreeRangeLocked(poff, psize);
   }
 }
 

@@ -67,6 +67,20 @@ class Partition {
   // magic and returned to the (coalesced) free list.
   Status Free(uint64_t offset);
 
+  // Epoch-deferred free, phase 1 (DESIGN.md §11): poisons the live block
+  // at offset exactly like Free but does NOT return its range to the
+  // free list, so the bytes cannot be reused while a latch-free reader
+  // may still hold the raw header pointer. Returns the block size and a
+  // retirement sequence number for the matching ReleaseRetired call.
+  Status PoisonForRetire(uint64_t offset, uint64_t* size, uint32_t* seq);
+
+  // Epoch-deferred free, phase 2: returns the poisoned range to the free
+  // list once its grace period has elapsed. No-op if the block was
+  // resurrected (undo of the free recreated the object in place via
+  // AllocateAt) or re-retired since — the sequence number, stamped into
+  // the header by PoisonForRetire, detects both.
+  void ReleaseRetired(uint64_t offset, uint64_t size, uint32_t seq);
+
   // Returns the header at offset, or nullptr if the offset is out of
   // bounds. Does not check liveness; callers use IsLive()/self checks.
   ObjectHeader* HeaderAt(uint64_t offset);
@@ -94,7 +108,7 @@ class Partition {
  private:
   Status AllocateLocked(uint64_t offset, uint32_t block);
   void InitializeObject(uint64_t offset, uint32_t num_refs,
-                        uint32_t data_size);
+                        uint32_t data_size, bool resurrect = false);
   void FreeRangeLocked(uint64_t offset, uint64_t size);
 
   const PartitionId id_;
@@ -104,6 +118,7 @@ class Partition {
   mutable std::mutex mu_;
   std::map<uint64_t, uint64_t> free_list_;  // offset -> hole size, coalesced
   uint64_t high_water_ = kBaseOffset;
+  uint32_t retire_seq_ = 0;  // stamps PoisonForRetire'd headers (under mu_)
 };
 
 }  // namespace brahma

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/epoch.h"
 #include "common/failpoint.h"
 #include "core/side_effect_log.h"
 #include "txn/transaction_manager.h"
@@ -73,13 +74,62 @@ Lsn Transaction::AppendOwn(LogRecord rec) {
   return last_lsn_;
 }
 
+// Zero-lock read path (DESIGN.md §11). The epoch guard pins reclamation:
+// any block observed live after the pin cannot have its bytes recycled
+// before the guard closes, because its retirement would be tagged with an
+// epoch >= ours and the drain waits for us. The per-object latch is still
+// taken for the duration of the copy — that is the paper's physical-
+// consistency latch (Section 3.4), held for nanoseconds, not the logical
+// lock held for the transaction's lifetime that queues readers behind
+// migrations. Identity is re-validated under the latch: a block poisoned
+// between Get and the latch acquisition reads as non-live and we fall
+// through to the relocation table, which migration populates before it
+// retires O_old — so a reader either wins the race to O_old (still a
+// correct pre-move snapshot) or chases to O_new.
+Status Transaction::LatchfreeSnapshot(
+    ObjectId oid, const std::function<Status(ObjectHeader*)>& fn) {
+  EpochGuard guard(ctx_.epoch);
+  ObjectId cur = oid;
+  for (uint32_t hop = 0; hop <= kEpochRelocationMaxHops; ++hop) {
+    ObjectHeader* h = ctx_.store->Get(cur);  // acquire-loads the magic
+    if (h != nullptr) {
+      SharedLatchGuard g(&h->latch);
+      if (h->IsLive() && h->self == cur.raw()) {
+        Status s = fn(h);
+        ctx_.epoch->NoteLatchfreeRead();
+        return s;
+      }
+    }
+    ObjectId next;
+    if (!ctx_.store->ChaseRelocation(cur, &next)) break;
+    cur = next;
+  }
+  return Status::Aborted("stale reference " + oid.ToString());
+}
+
 Status Transaction::ReadRefs(ObjectId oid, std::vector<ObjectId>* out) {
-  Status s = RequireHeld(oid, LockMode::kShared);
-  if (!s.ok()) return s;
-  ObjectHeader* h = GetLive(oid);
-  if (h == nullptr) return Status::Aborted("stale reference " + oid.ToString());
   out->clear();
-  {
+  if (UseLatchfreeReads()) {
+    Status s = LatchfreeSnapshot(oid, [out](ObjectHeader* h) {
+      // Snapshot (num_refs, refs) together under the latch: a migrated
+      // copy produced by RelocationPlanner::Transform may have a
+      // different fan-out, and reading the count from one incarnation
+      // and the slots from another tears the read.
+      out->assign(h->refs(), h->refs() + h->num_refs);
+      return Status::Ok();
+    });
+    if (!s.ok()) return s;
+  } else {
+    Status s = RequireHeld(oid, LockMode::kShared);
+    if (!s.ok()) return s;
+    // The logical lock does not stop the reorganizer from freeing O_old
+    // (it frees lock-free once all parents are locked); the epoch pin
+    // keeps the block's memory stable across the lookup -> latch window.
+    EpochGuard epoch_guard(ctx_.epoch);
+    ObjectHeader* h = GetLive(oid);
+    if (h == nullptr) {
+      return Status::Aborted("stale reference " + oid.ToString());
+    }
     SharedLatchGuard g(&h->latch);
     out->assign(h->refs(), h->refs() + h->num_refs);
   }
@@ -90,8 +140,21 @@ Status Transaction::ReadRefs(ObjectId oid, std::vector<ObjectId>* out) {
 }
 
 Status Transaction::ReadRef(ObjectId oid, uint32_t slot, ObjectId* out) {
+  if (UseLatchfreeReads()) {
+    Status s = LatchfreeSnapshot(oid, [slot, out](ObjectHeader* h) {
+      // The slot bound must come from the same latched incarnation as
+      // the slot value (Transform can shrink the fan-out).
+      if (slot >= h->num_refs) return Status::InvalidArgument("bad slot");
+      *out = h->refs()[slot];
+      return Status::Ok();
+    });
+    if (!s.ok()) return s;
+    if (out->valid()) local_refs_.push_back(*out);
+    return Status::Ok();
+  }
   Status s = RequireHeld(oid, LockMode::kShared);
   if (!s.ok()) return s;
+  EpochGuard epoch_guard(ctx_.epoch);
   ObjectHeader* h = GetLive(oid);
   if (h == nullptr) return Status::Aborted("stale reference " + oid.ToString());
   if (slot >= h->num_refs) return Status::InvalidArgument("bad slot");
@@ -104,8 +167,15 @@ Status Transaction::ReadRef(ObjectId oid, uint32_t slot, ObjectId* out) {
 }
 
 Status Transaction::ReadData(ObjectId oid, std::vector<uint8_t>* out) {
+  if (UseLatchfreeReads()) {
+    return LatchfreeSnapshot(oid, [out](ObjectHeader* h) {
+      out->assign(h->data(), h->data() + h->data_size);
+      return Status::Ok();
+    });
+  }
   Status s = RequireHeld(oid, LockMode::kShared);
   if (!s.ok()) return s;
+  EpochGuard epoch_guard(ctx_.epoch);
   ObjectHeader* h = GetLive(oid);
   if (h == nullptr) return Status::Aborted("stale reference " + oid.ToString());
   SharedLatchGuard g(&h->latch);
@@ -116,6 +186,7 @@ Status Transaction::ReadData(ObjectId oid, std::vector<uint8_t>* out) {
 Status Transaction::SetRef(ObjectId oid, uint32_t slot, ObjectId new_ref) {
   Status s = RequireHeld(oid, LockMode::kExclusive);
   if (!s.ok()) return s;
+  EpochGuard epoch_guard(ctx_.epoch);
   ObjectHeader* h = GetLive(oid);
   if (h == nullptr) return Status::Aborted("stale reference " + oid.ToString());
   if (slot >= h->num_refs) return Status::InvalidArgument("bad slot");
@@ -139,6 +210,7 @@ Status Transaction::SetRef(ObjectId oid, uint32_t slot, ObjectId new_ref) {
 Status Transaction::WriteData(ObjectId oid, const std::vector<uint8_t>& bytes) {
   Status s = RequireHeld(oid, LockMode::kExclusive);
   if (!s.ok()) return s;
+  EpochGuard epoch_guard(ctx_.epoch);
   ObjectHeader* h = GetLive(oid);
   if (h == nullptr) return Status::Aborted("stale reference " + oid.ToString());
   if (bytes.size() != h->data_size) {
@@ -183,8 +255,16 @@ Status Transaction::CreateObjectWithContents(
   rec.new_data = data;
   rec.reorg_old = reorg_old;
   AppendOwn(std::move(rec));
-  for (uint32_t i = 0; i < h->num_refs; ++i) h->refs()[i] = refs[i];
-  if (!data.empty()) std::memcpy(h->data(), data.data(), data.size());
+  {
+    // Fill under the object latch: if the allocation reused an arena
+    // offset, the ObjectId is the same as the freed object's and a
+    // latch-free reader still holding that id will validate successfully
+    // against this block — its latched snapshot must see either the
+    // published empty state or the full contents, never a torn fill.
+    ExclusiveLatchGuard g(&h->latch);
+    for (uint32_t i = 0; i < h->num_refs; ++i) h->refs()[i] = refs[i];
+    if (!data.empty()) std::memcpy(h->data(), data.data(), data.size());
+  }
   // The creator owns the object until it completes.
   Status ls = ctx_.locks->Acquire(id_, oid, LockMode::kExclusive,
                                   ctx_.lock_timeout, VictimProfile());
@@ -199,6 +279,7 @@ Status Transaction::FreeObject(ObjectId oid) {
   // reach it once all parents are locked, paper Section 3.5) — allow
   // lock-free frees for reorg transactions.
   if (!s.ok() && source_ != LogSource::kReorg) return s;
+  EpochGuard epoch_guard(ctx_.epoch);
   ObjectHeader* h = GetLive(oid);
   if (h == nullptr) return Status::Aborted("stale reference " + oid.ToString());
   SharedLatchGuard ck(ctx_.checkpoint_latch);
@@ -210,7 +291,9 @@ Status Transaction::FreeObject(ObjectId oid) {
   rec.refs_image.assign(h->refs(), h->refs() + h->num_refs);
   rec.old_data.assign(h->data(), h->data() + h->data_size);
   AppendOwn(std::move(rec));
-  return ctx_.store->FreeObject(oid);
+  // Epoch-deferred: a latch-free reader may still hold the raw header
+  // pointer; the arena range is recycled only after its grace period.
+  return ctx_.store->RetireObject(oid);
 }
 
 Status Transaction::Commit() {
@@ -270,6 +353,11 @@ Status Transaction::Abort() {
 // and recovery redo treat them exactly like forward records — an abort
 // that reintroduces a deleted reference is an insertion (Section 4.5).
 void Transaction::UndoToEnd() {
+  // One pin for the whole (bounded) undo chain: every kSetRef/kUpdateData
+  // case does a lookup -> latch probe on an object this transaction may
+  // have already unlocked (early lock release), so the block must not be
+  // recycled mid-undo.
+  EpochGuard epoch_guard(ctx_.epoch);
   Lsn cursor = last_lsn_;
   while (cursor != kInvalidLsn) {
     LogRecord rec;
@@ -327,7 +415,10 @@ void Transaction::UndoToEnd() {
         clr.data_size = rec.data_size;
         clr.undo_next_lsn = next;
         AppendOwn(std::move(clr));
-        ctx_.store->FreeObject(rec.oid);
+        // Epoch-deferred for the same reason as FreeObject: an aborting
+        // migration retracts its relocation entry, but a reader that
+        // already chased old -> new may still be latching O_new.
+        ctx_.store->RetireObject(rec.oid);
         break;
       }
       case LogRecordType::kFree: {
@@ -346,6 +437,10 @@ void Transaction::UndoToEnd() {
                                               rec.data_size);
         if (s.ok()) {
           ObjectHeader* h = ctx_.store->Get(rec.oid);
+          // Latched fill: the resurrected block bears the same ObjectId
+          // the freed object had, so a latch-free reader that kept the
+          // id can validate against it mid-undo.
+          ExclusiveLatchGuard g(&h->latch);
           for (uint32_t i = 0; i < rec.num_refs; ++i) {
             h->refs()[i] = rec.refs_image[i];
           }

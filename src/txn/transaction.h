@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <unordered_set>
 #include <vector>
 
@@ -16,6 +17,7 @@
 
 namespace brahma {
 
+class EpochManager;
 class SideEffectLog;
 class TransactionManager;
 
@@ -27,6 +29,14 @@ struct TxnContext {
   // Mutators hold this shared around each (log append, apply) pair so a
   // checkpoint (exclusive) sees an arena image consistent with its LSN.
   SharedLatch* checkpoint_latch = nullptr;
+  // Epoch-based reclamation for the latch-free read path (DESIGN.md §11).
+  // When latchfree_reads is set, ReadRefs/ReadRef/ReadData run under an
+  // epoch guard instead of requiring a logical lock: they resolve stale
+  // ids through the store's relocation table and snapshot contents under
+  // the per-object latch only. Frees route through epoch retirement so a
+  // concurrent guard never observes recycled bytes.
+  EpochManager* epoch = nullptr;
+  bool latchfree_reads = false;
   std::chrono::milliseconds lock_timeout = kPaperLockTimeout;
   bool strict_2pl = true;
 };
@@ -67,7 +77,11 @@ class Transaction {
     return {held_.begin(), held_.end()};
   }
 
-  // --- reads (require a lock in any mode) --------------------------------
+  // --- reads -------------------------------------------------------------
+  // Require a lock in any mode — unless the context enables latch-free
+  // reads, in which case they need no lock at all: the read runs inside
+  // an epoch guard, chases relocations, and snapshots under the object
+  // latch (paper Section 5.2's reader-vs-migration stall, removed).
   Status ReadRefs(ObjectId oid, std::vector<ObjectId>* out);
   Status ReadRef(ObjectId oid, uint32_t slot, ObjectId* out);
   Status ReadData(ObjectId oid, std::vector<uint8_t>* out);
@@ -134,6 +148,14 @@ class Transaction {
       : mgr_(mgr), ctx_(ctx), id_(id), source_(source) {}
 
   Status RequireHeld(ObjectId oid, LockMode min_mode) const;
+  bool UseLatchfreeReads() const {
+    return ctx_.latchfree_reads && ctx_.epoch != nullptr;
+  }
+  // Epoch-guarded resolve-and-snapshot: chases oid through the store's
+  // relocation table (bounded hops), validates liveness and identity
+  // under the per-object latch, then runs fn on the pinned header.
+  Status LatchfreeSnapshot(ObjectId oid,
+                           const std::function<Status(ObjectHeader*)>& fn);
   // Snapshot of this transaction for deadlock victim selection
   // (DESIGN.md §10), taken at each blocking Acquire.
   WaiterProfile VictimProfile() const;

@@ -7,15 +7,23 @@ Status RunWalkOnce(Database* db, const WorkloadParams& params,
                    Random* rng) {
   std::unique_ptr<Transaction> txn = db->Begin();
   const bool strict = db->options().strict_2pl;
+  // Latch-free mode (DESIGN.md §11): read steps take no logical lock at
+  // all — ReadRefs runs under an epoch guard and chases relocations —
+  // so the walk never queues behind a migration's exclusive locks.
+  // Update steps still lock exclusively.
+  const bool latchfree = db->options().latchfree_reads;
 
   // Reach the persistent roots of the home partition through the
   // directory object (references are obtained only by following the
   // persistent root, Section 2).
   ObjectId dir = graph.partition_dirs[home_partition - 1];
-  Status s = txn->Lock(dir, LockMode::kShared);
-  if (!s.ok()) {
-    txn->Abort();
-    return s;
+  Status s = Status::Ok();
+  if (!latchfree) {
+    s = txn->Lock(dir, LockMode::kShared);
+    if (!s.ok()) {
+      txn->Abort();
+      return s;
+    }
   }
   std::vector<ObjectId> roots;
   s = txn->ReadRefs(dir, &roots);
@@ -28,17 +36,19 @@ Status RunWalkOnce(Database* db, const WorkloadParams& params,
     return Status::Internal("empty directory");
   }
   ObjectId current = roots[rng->Uniform(roots.size())];
-  if (!strict) txn->Unlock(dir);
+  if (!strict && !latchfree) txn->Unlock(dir);
 
   std::vector<ObjectId> refs;
   std::vector<uint8_t> payload(params.data_size);
   for (uint32_t step = 0; step < params.ops_per_txn; ++step) {
     const bool update = rng->Bernoulli(params.update_prob);
-    s = txn->Lock(current,
-                  update ? LockMode::kExclusive : LockMode::kShared);
-    if (!s.ok()) {
-      txn->Abort();
-      return s;
+    if (update || !latchfree) {
+      s = txn->Lock(current,
+                    update ? LockMode::kExclusive : LockMode::kShared);
+      if (!s.ok()) {
+        txn->Abort();
+        return s;
+      }
     }
     s = txn->ReadRefs(current, &refs);
     if (!s.ok()) {

@@ -184,6 +184,90 @@ TEST(IraParallelStressTest, WorkloadDriverBasicFourWorkers) {
   CheckFullyMigrated(&db, live_before, stats);
 }
 
+// Eight migration workers against eight latch-free pointer-chasing
+// readers (DESIGN.md §11): readers take no logical lock at all, so the
+// pipeline never queues behind them and they never queue behind it —
+// the reader-vs-migration stall this PR removes. Readers must see only
+// clean snapshots (live ids of real partitions) the whole way, and the
+// run must end with the usual exact-migration invariants.
+TEST(IraParallelStressTest, LatchfreeReadersEightWorkers) {
+  DatabaseOptions dopt = testing::SmallDbOptions(5);
+  dopt.latchfree_reads = true;
+  dopt.lock_timeout = std::chrono::milliseconds(150);
+  Database db(dopt);
+  WorkloadParams params = testing::SmallWorkload(3);
+  BuiltGraph graph;
+  GraphBuilder builder(&db);
+  ASSERT_TRUE(builder.Build(params, &graph).ok());
+  const uint64_t live_before = CountLiveObjects(&db.store(), 1);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> chases{0};
+  std::atomic<int> bad{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t x = 88172645463325252ull + t;  // xorshift seed
+      auto rnd = [&x] {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return x;
+      };
+      while (!stop.load()) {
+        auto txn = db.Begin();
+        ObjectId current = graph.partition_dirs[rnd() % 3];
+        for (int step = 0; step < 32 && !stop.load(); ++step) {
+          std::vector<ObjectId> refs;
+          if (!txn->ReadRefs(current, &refs).ok()) break;
+          std::vector<ObjectId> valid;
+          for (ObjectId r : refs) {
+            if (r.valid()) valid.push_back(r);
+          }
+          if (valid.empty()) break;
+          current = valid[rnd() % valid.size()];
+          if (current.partition() >= db.store().num_partitions()) {
+            bad.fetch_add(1);  // a torn/garbage snapshot leaked out
+            break;
+          }
+          chases.fetch_add(1);
+        }
+        txn->Abort();
+      }
+    });
+  }
+
+  // Don't start migrating until the readers are actually chasing: under
+  // machine load the 8-worker run could otherwise finish before the first
+  // reader thread is scheduled.
+  while (chases.load() == 0) std::this_thread::yield();
+
+  CopyOutPlanner planner(5);
+  IraOptions opt;
+  opt.num_workers = 8;
+  opt.lock_timeout = std::chrono::milliseconds(150);
+  ReorgStats stats;
+  IraReorganizer ira(db.reorg_context());
+  Status s = ira.Run(1, &planner, opt, &stats);
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_GT(chases.load(), 0u);
+  CheckFullyMigrated(&db, live_before, stats);
+  // The readers ran lock-free the whole time; the migrations' retire and
+  // advance churn folds into the run's stats, and the readers' traffic
+  // lands in the epoch system's global counter.
+  EXPECT_GT(db.epoch().latchfree_reads(), 0u);
+  EXPECT_GT(stats.epoch_advances, 0u);
+  EXPECT_GT(stats.retire_drains, 0u);
+  // Readers may have pinned the run's final drain pass; with all of them
+  // gone one more pass must reclaim everything.
+  db.epoch().AdvanceAndDrain();
+  EXPECT_EQ(db.epoch().retired_pending(), 0u);
+}
+
 // Injected lock timeouts (failpoint at the lock-acquire site) push the
 // pipeline into its defer/requeue path; the contention budget aggregates
 // timeouts *across workers* and degrades the whole run, forcing a
