@@ -85,6 +85,13 @@ struct ExperimentConfig {
   // Deadlock handling during lock waits: waits-for detection (default),
   // wait-die, or the paper's timeout-only baseline (DESIGN.md §10).
   DeadlockPolicy deadlock_policy = kDefaultDeadlockPolicy;
+  // Durability substrate (DESIGN.md §12): kInMemory pays flush_latency
+  // per force; kDisk writes real WAL segments + checkpoint images under
+  // wal_dir and pays fsync_mode per force (flush_latency is usually 0
+  // then — the device provides the latency).
+  Durability durability = Durability::kInMemory;
+  std::string wal_dir;
+  FsyncMode fsync_mode = FsyncMode::kFull;
 };
 
 struct ExperimentResult {
@@ -182,7 +189,15 @@ inline ExperimentResult RunExperimentExact(const ExperimentConfig& cfg) {
   dopt.log_truncate_threshold = 500000;
   dopt.lock_timeout = cfg.lock_timeout;
   dopt.deadlock_policy = cfg.deadlock_policy;
+  dopt.durability = cfg.durability;
+  dopt.wal_dir = cfg.wal_dir;
+  dopt.fsync_mode = cfg.fsync_mode;
   Database db(dopt);
+  if (!db.durability_status().ok()) {
+    std::fprintf(stderr, "durability init failed: %s\n",
+                 db.durability_status().ToString().c_str());
+    std::exit(1);
+  }
 
   BuiltGraph graph;
   GraphBuilder builder(&db);

@@ -33,7 +33,8 @@ X_KEY_CANDIDATES = ["mpl", "workers", "group_size", "threads",
                     "objects_per_partition", "update_prob"]
 
 # Mode/ablation keys, in preference order, for --series detection.
-SERIES_KEY_CANDIDATES = ["group_commit", "latchfree", "mode", "scenario"]
+SERIES_KEY_CANDIDATES = ["group_commit", "latchfree", "durability", "mode",
+                         "scenario"]
 
 ASCII_MARKERS = "*o+x#@"
 SVG_COLORS = ["#1f6feb", "#d1242f", "#1a7f37", "#8250df", "#bf8700",

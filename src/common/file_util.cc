@@ -1,0 +1,331 @@
+#include "common/file_util.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace brahma {
+
+namespace {
+
+// Byte-at-a-time table for the reflected kCrcPolynomial. Plenty for the
+// volumes the tests and benches push; swap for a sliced or hardware
+// implementation if the WAL ever becomes CRC-bound.
+struct Crc32cTable {
+  uint32_t t[256];
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (kCrcPolynomial ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+  }
+};
+
+Status Errno(const char* op, const std::string& path) {
+  return Status::Internal(std::string(op) + " " + path + ": " +
+                          std::strerror(errno));
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  static const Crc32cTable table;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    c = table.t[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+MediaFaultInjector& MediaFaultInjector::Instance() {
+  static MediaFaultInjector injector;
+  return injector;
+}
+
+FileHandle& FileHandle::operator=(FileHandle&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    site_prefix_ = std::move(other.site_prefix_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status FileHandle::Open(const std::string& path, bool create, bool truncate,
+                        const std::string& site_prefix, FileHandle* out) {
+  Status fp = failpoint::Check((site_prefix + ":open").c_str());
+  if (!fp.ok()) {
+    MediaFaultInjector::Instance().RecordInjected();
+    return fp;
+  }
+  int flags = O_RDWR | O_CLOEXEC;
+  if (create) flags |= O_CREAT;
+  if (truncate) flags |= O_TRUNC;
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("open " + path);
+    return Errno("open", path);
+  }
+  out->Close();
+  out->fd_ = fd;
+  out->path_ = path;
+  out->site_prefix_ = site_prefix;
+  return Status::Ok();
+}
+
+Status FileHandle::WriteAt(uint64_t off, const void* data, size_t n,
+                           size_t* written) {
+  if (written != nullptr) *written = 0;
+  if (fd_ < 0) return Status::Internal("write on closed file " + path_);
+  size_t allowed = n;
+  Status fp = failpoint::Check((site_prefix_ + ":write").c_str());
+  if (!fp.ok()) {
+    // Torn write: the prefix the device managed before the failure. With
+    // the default kHalf shape, half the payload lands.
+    uint64_t torn = MediaFaultInjector::Instance().torn_write_bytes();
+    allowed = torn == MediaFaultInjector::kHalf
+                  ? n / 2
+                  : static_cast<size_t>(std::min<uint64_t>(torn, n));
+    MediaFaultInjector::Instance().RecordInjected();
+  }
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t done = 0;
+  while (done < allowed) {
+    ssize_t w = ::pwrite(fd_, p + done, allowed - done,
+                         static_cast<off_t>(off + done));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (written != nullptr) *written = done;
+      return Errno("pwrite", path_);
+    }
+    done += static_cast<size_t>(w);
+  }
+  if (written != nullptr) *written = done;
+  return fp;
+}
+
+Status FileHandle::ReadAt(uint64_t off, void* data, size_t n,
+                          size_t* read) const {
+  if (read != nullptr) *read = 0;
+  if (fd_ < 0) return Status::Internal("read on closed file " + path_);
+  size_t allowed = n;
+  Status fp = failpoint::Check((site_prefix_ + ":read").c_str());
+  if (!fp.ok()) {
+    allowed = static_cast<size_t>(std::min<uint64_t>(
+        MediaFaultInjector::Instance().short_read_bytes(), n));
+    MediaFaultInjector::Instance().RecordInjected();
+  }
+  uint8_t* p = static_cast<uint8_t*>(data);
+  size_t done = 0;
+  while (done < allowed) {
+    ssize_t r = ::pread(fd_, p + done, allowed - done,
+                        static_cast<off_t>(off + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pread", path_);
+    }
+    if (r == 0) break;  // EOF
+    done += static_cast<size_t>(r);
+  }
+  if (read != nullptr) *read = done;
+  return fp;
+}
+
+Status FileHandle::Sync(FsyncMode mode) {
+  if (fd_ < 0) return Status::Internal("fsync on closed file " + path_);
+  Status fp = failpoint::Check((site_prefix_ + ":fsync").c_str());
+  if (!fp.ok()) {
+    // Failed fsync: whether the preceding writes reached the platter is
+    // unknowable — the caller must not advance its durability watermark.
+    MediaFaultInjector::Instance().RecordInjected();
+    return fp;
+  }
+  if (mode == FsyncMode::kFull && ::fsync(fd_) != 0) {
+    return Errno("fsync", path_);
+  }
+  return Status::Ok();
+}
+
+Status FileHandle::Truncate(uint64_t size) {
+  if (fd_ < 0) return Status::Internal("truncate on closed file " + path_);
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Errno("ftruncate", path_);
+  }
+  return Status::Ok();
+}
+
+Status FileHandle::Size(uint64_t* out) const {
+  if (fd_ < 0) return Status::Internal("stat on closed file " + path_);
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return Errno("fstat", path_);
+  *out = static_cast<uint64_t>(st.st_size);
+  return Status::Ok();
+}
+
+void FileHandle::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status MakeDirs(const std::string& path) {
+  std::string partial;
+  for (size_t i = 0; i <= path.size(); ++i) {
+    if (i < path.size() && path[i] != '/') continue;
+    partial = path.substr(0, i == path.size() ? i : i + 1);
+    if (partial.empty() || partial == "/") continue;
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", partial);
+    }
+  }
+  return Status::Ok();
+}
+
+Status ListDir(const std::string& dir, std::vector<std::string>* names) {
+  names->clear();
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return Status::NotFound("opendir " + dir);
+    return Errno("opendir", dir);
+  }
+  while (struct dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    names->push_back(std::move(name));
+  }
+  ::closedir(d);
+  std::sort(names->begin(), names->end());
+  return Status::Ok();
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::Ok();
+}
+
+Status SyncDir(const std::string& dir, FsyncMode mode) {
+  if (mode == FsyncMode::kNoop) return Status::Ok();
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Errno("open dir", dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync dir", dir);
+  return Status::Ok();
+}
+
+Status AtomicRename(const std::string& from, const std::string& to,
+                    const std::string& site_prefix, FsyncMode mode) {
+  Status fp = failpoint::Check((site_prefix + ":rename").c_str());
+  if (!fp.ok()) {
+    MediaFaultInjector::Instance().RecordInjected();
+    return fp;
+  }
+  if (::rename(from.c_str(), to.c_str()) != 0) return Errno("rename", from);
+  // The rename is only durable once the directory entry is: sync the
+  // containing directory (publish step of write-temp-then-rename).
+  std::string dir = ".";
+  size_t slash = to.find_last_of('/');
+  if (slash != std::string::npos) dir = to.substr(0, slash);
+  return SyncDir(dir, mode);
+}
+
+Status RemoveDirRecursive(const std::string& path) {
+  std::vector<std::string> names;
+  Status s = ListDir(path, &names);
+  if (s.IsNotFound()) return Status::Ok();
+  if (!s.ok()) return s;
+  for (const std::string& name : names) {
+    std::string child = path + "/" + name;
+    struct stat st;
+    if (::lstat(child.c_str(), &st) != 0) continue;
+    if (S_ISDIR(st.st_mode)) {
+      Status cs = RemoveDirRecursive(child);
+      if (!cs.ok()) return cs;
+    } else {
+      ::unlink(child.c_str());
+    }
+  }
+  if (::rmdir(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("rmdir", path);
+  }
+  return Status::Ok();
+}
+
+Status ReadEntireFile(const std::string& path, const std::string& site_prefix,
+                      std::vector<uint8_t>* out) {
+  FileHandle f;
+  Status s = FileHandle::Open(path, /*create=*/false, /*truncate=*/false,
+                              site_prefix, &f);
+  if (!s.ok()) return s;
+  uint64_t size = 0;
+  s = f.Size(&size);
+  if (!s.ok()) return s;
+  out->resize(size);
+  size_t got = 0;
+  s = f.ReadAt(0, out->data(), size, &got);
+  out->resize(got);
+  return s;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status InjectFileFault(const std::string& path, FileFaultKind kind,
+                       uint64_t param) {
+  MediaFaultInjector::Instance().RecordInjected();
+  if (kind == FileFaultKind::kDelete) return RemoveFile(path);
+  FileHandle f;
+  // Fault application is itself exempt from in-flight injection: it IS
+  // the fault. (The fuzzer applies these with failpoints already reset,
+  // but belt and braces.)
+  failpoint::ScopedSuppress suppress;
+  Status s = FileHandle::Open(path, /*create=*/false, /*truncate=*/false,
+                              "media:postmortem", &f);
+  if (!s.ok()) return s;
+  uint64_t size = 0;
+  s = f.Size(&size);
+  if (!s.ok()) return s;
+  if (size == 0) return Status::Ok();
+  switch (kind) {
+    case FileFaultKind::kBitFlip: {
+      uint64_t bit = param % (size * 8);
+      uint8_t byte = 0;
+      size_t got = 0;
+      s = f.ReadAt(bit / 8, &byte, 1, &got);
+      if (!s.ok() || got != 1) return Status::Internal("bitflip read");
+      byte = static_cast<uint8_t>(byte ^ (1u << (bit % 8)));
+      return f.WriteAt(bit / 8, &byte, 1, nullptr);
+    }
+    case FileFaultKind::kTruncateAt:
+      return f.Truncate(param % size);
+    case FileFaultKind::kZeroTail: {
+      uint64_t from = param % size;
+      std::vector<uint8_t> zeros(size - from, 0);
+      return f.WriteAt(from, zeros.data(), zeros.size(), nullptr);
+    }
+    case FileFaultKind::kDelete:
+      break;  // handled above
+  }
+  return Status::Ok();
+}
+
+}  // namespace brahma

@@ -100,6 +100,35 @@ inline constexpr VictimPolicy kDefaultVictimPolicy = VictimPolicy::kReorgFirst;
 inline constexpr uint32_t kEpochMaxSlots = 256;
 inline constexpr uint32_t kEpochRelocationMaxHops = 8;
 
+// Durability substrate (DESIGN.md §12). kInMemory is the seed's fast
+// mode: the stable log and the checkpoint image live in RAM and a
+// "force" is a modeled latency. kDisk puts fixed-size WAL segment files
+// and generation-stamped checkpoint images under DatabaseOptions::wal_dir,
+// with one real fsync per force (group-commit batches map to one fsync)
+// and a corruption-aware recovery scan.
+enum class Durability : uint8_t { kInMemory, kDisk };
+
+// How a force reaches the platter. kNoop skips the fsync(2) syscall but
+// keeps all bookkeeping (the fsync counter, stable-LSN advancement):
+// crash-simulation tests kill the database without killing the process,
+// so the page cache is exactly as durable as the tests need — and 200
+// fuzz seeds do not serialize on a disk flush queue.
+enum class FsyncMode : uint8_t { kFull, kNoop };
+
+// WAL segment size. Records never split across segments; a segment
+// rotates when the next record would overflow it, and whole segments
+// below the checkpoint truncation point are recycled. Tests shrink this
+// to force rotation with tiny logs.
+inline constexpr uint64_t kWalSegmentBytes = 1ull << 20;
+
+// CRC-32C (Castagnoli), reflected form — hardware-friendly and the
+// polynomial every modern WAL uses (iSCSI, ext4, RocksDB).
+inline constexpr uint32_t kCrcPolynomial = 0x82F63B78u;
+
+// Randomized crash-recovery fuzzer: seeds per run unless
+// BRAHMA_CRASH_FUZZ_SEEDS overrides (CI smoke blocks run fewer).
+inline constexpr int kCrashFuzzDefaultSeeds = 200;
+
 // How long a blocked Acquire waits before running detection, and then
 // between detection passes. Cycles persist until broken, so a short grace
 // only delays resolution by ~one slice while keeping detection off the

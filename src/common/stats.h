@@ -87,6 +87,15 @@ struct ReorgStats {
   // trigger counter; attributes concurrent-mutator triggers to the run
   // they overlapped, which is what fault-injection reports want).
   std::atomic<uint64_t> faults_injected{0};
+  // Durability layer (DESIGN.md §12). fsyncs and media_faults_injected
+  // are deltas of shared monotone counters over this run (like
+  // group_commit_batches); the scrub counters are filled by
+  // Database::Recover from the corruption-aware scan.
+  std::atomic<uint64_t> wal_records_verified{0};
+  std::atomic<uint64_t> torn_tails_truncated{0};
+  std::atomic<uint64_t> checkpoint_generations_discarded{0};
+  std::atomic<uint64_t> fsyncs{0};
+  std::atomic<uint64_t> media_faults_injected{0};
   double duration_ms = 0;
   std::unordered_map<ObjectId, ObjectId> relocation;
 
@@ -120,6 +129,12 @@ struct ReorgStats {
     epoch_advances.store(other.epoch_advances.load());
     retire_drains.store(other.retire_drains.load());
     faults_injected.store(other.faults_injected.load());
+    wal_records_verified.store(other.wal_records_verified.load());
+    torn_tails_truncated.store(other.torn_tails_truncated.load());
+    checkpoint_generations_discarded.store(
+        other.checkpoint_generations_discarded.load());
+    fsyncs.store(other.fsyncs.load());
+    media_faults_injected.store(other.media_faults_injected.load());
     duration_ms = other.duration_ms;
     std::scoped_lock l(relocation_mu_, other.relocation_mu_);
     relocation = other.relocation;

@@ -45,6 +45,12 @@ class Status {
   static Status Corruption(std::string msg = "") {
     return Status(Code::kCorruption, std::move(msg));
   }
+  // Durability-layer spelling of Corruption (DESIGN.md §12): stable data
+  // — records at or below the recovery floor, or every checkpoint
+  // generation — failed verification, so recovery cannot proceed.
+  static Status Corrupted(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
   static Status InvalidArgument(std::string msg = "") {
     return Status(Code::kInvalidArgument, std::move(msg));
   }
@@ -84,6 +90,7 @@ class Status {
   bool IsAborted() const { return code_ == Code::kAborted; }
   bool IsNoSpace() const { return code_ == Code::kNoSpace; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsCorrupted() const { return code_ == Code::kCorruption; }
   bool IsRetryExhausted() const { return code_ == Code::kRetryExhausted; }
   bool IsDegraded() const { return code_ == Code::kDegraded; }
   bool IsCrashed() const { return code_ == Code::kCrashed; }

@@ -13,6 +13,34 @@ Database::Database(const DatabaseOptions& options) : options_(options) {
   store_->set_epoch_manager(epoch_.get());
   log_ = std::make_unique<LogManager>(options.commit_flush_latency);
   log_->set_group_commit(options.group_commit);
+  if (options.durability == Durability::kDisk) {
+    if (options.wal_dir.empty()) {
+      durability_status_ =
+          Status::InvalidArgument("kDisk durability requires wal_dir");
+    } else {
+      DiskLog::Options dopts;
+      dopts.dir = options.wal_dir;
+      dopts.segment_bytes = options.wal_segment_bytes;
+      dopts.fsync_mode = options.fsync_mode;
+      disk_log_ = std::make_unique<DiskLog>(dopts);
+      durability_status_ = disk_log_->Open();
+      CheckpointStore::Options copts;
+      copts.dir = options.wal_dir;
+      copts.fsync_mode = options.fsync_mode;
+      ckpt_store_ = std::make_unique<CheckpointStore>(std::move(copts));
+      if (durability_status_.ok()) {
+        durability_status_ = ckpt_store_->Open(&ckpt_generation_);
+      }
+      if (durability_status_.ok()) {
+        log_->AttachDiskLog(disk_log_.get());
+      } else {
+        // Fall back to in-memory logging; the caller decides whether a
+        // non-durable database is acceptable via durability_status().
+        disk_log_.reset();
+        ckpt_store_.reset();
+      }
+    }
+  }
   locks_ = std::make_unique<LockManager>();
   locks_->set_history_enabled(options.enable_lock_history);
   locks_->set_deadlock_policy(options.deadlock_policy);
@@ -65,10 +93,11 @@ void Database::MaybeTruncateLog() {
   truncating_.store(false);
 }
 
-void Database::Checkpoint() {
+Status Database::Checkpoint() {
   // Delay-only site: a slow checkpoint stretches the quiesce window.
   BRAHMA_FAILPOINT_HIT("db:checkpoint");
   CheckpointImage img;
+  Lsn rec_lsn = kInvalidLsn;
   {
     // Exclusive against every (append, apply) pair: the image is exactly
     // the state after all records with lsn <= img.lsn.
@@ -83,10 +112,22 @@ void Database::Checkpoint() {
     LogRecord rec;
     rec.type = LogRecordType::kCheckpoint;
     rec.checkpoint_lsn = img.lsn;
-    log_->Append(std::move(rec));
+    rec_lsn = log_->Append(std::move(rec));
   }
   log_->Flush(log_->last_lsn());
+  // A failed device force leaves stable_lsn_ behind the checkpoint
+  // record; publishing the image anyway would let Recover use a floor
+  // the log cannot back.
+  if (log_->stable_lsn() < rec_lsn) {
+    return Status::Internal("checkpoint log force failed");
+  }
+  if (ckpt_store_ != nullptr) {
+    Status cs = ckpt_store_->Save(img, ckpt_generation_ + 1);
+    if (!cs.ok()) return cs;  // previous generation remains in force
+    ++ckpt_generation_;
+  }
   checkpoint_ = std::move(img);
+  return Status::Ok();
 }
 
 void Database::SimulateCrash() {
@@ -95,6 +136,13 @@ void Database::SimulateCrash() {
   locks_->ClearAllState();
   txns_->Reset();
   trt_->Disable();
+  if (disk_log_ != nullptr) {
+    // The disk is the only survivor: queued frames die with the process
+    // and the in-memory checkpoint image is volatile — Recover reloads
+    // whatever generation actually got published.
+    disk_log_->CrashClose();
+    checkpoint_ = CheckpointImage();
+  }
   // Grace periods are volatile state: every reader thread died with the
   // crash, so all pending retirements drain now. Recovery then works on
   // an arena whose free list is exact (redo may AllocateAt into ranges
@@ -102,10 +150,57 @@ void Database::SimulateCrash() {
   epoch_->ForceDrainAll();
 }
 
-Status Database::Recover() {
+Status Database::Recover(ReorgStats* stats) {
+  if (disk_log_ != nullptr) {
+    const uint64_t faults_before =
+        MediaFaultInjector::Instance().faults_injected();
+    ScrubReport report;
+    CheckpointImage img;
+    uint64_t gen = 0;
+    Status cs = ckpt_store_->LoadLatest(&img, &gen, &report);
+    if (cs.ok()) {
+      checkpoint_ = std::move(img);
+      ckpt_generation_ = gen;
+    } else if (cs.IsNotFound()) {
+      // No usable generation: recover from the log alone. The stamp
+      // counter keeps counting up so a later Save never reuses a
+      // discarded generation's name.
+      checkpoint_ = CheckpointImage();
+    }
+    const Lsn floor = checkpoint_.valid ? checkpoint_.lsn : 0;
+    std::vector<LogRecord> recovered;
+    Status ds =
+        cs.ok() || cs.IsNotFound()
+            ? disk_log_->Recover(floor, &recovered, &report)
+            : cs;
+    // Fold scrub + media-fault counters whether or not the scan
+    // succeeded — a refused recovery still reports what it saw.
+    scrub_.Add(report);
+    if (stats != nullptr) {
+      stats->wal_records_verified.fetch_add(report.wal_records_verified);
+      stats->torn_tails_truncated.fetch_add(report.torn_tails_truncated);
+      stats->checkpoint_generations_discarded.fetch_add(
+          report.checkpoint_generations_discarded);
+      stats->media_faults_injected.fetch_add(
+          MediaFaultInjector::Instance().faults_injected() - faults_before);
+    }
+    if (!ds.ok()) return ds;
+    if (!checkpoint_.valid && !recovered.empty() &&
+        recovered.front().lsn != 1) {
+      // The log head was truncated under a checkpoint, but no checkpoint
+      // generation survived: history is unreconstructible.
+      return Status::Corrupted("log head truncated and no usable checkpoint");
+    }
+    log_->ResetFromRecovered(std::move(recovered), floor + 1);
+  }
   Status s = RunRestartRecovery(store_.get(), log_.get(),
                                 checkpoint_.valid ? &checkpoint_ : nullptr);
   if (!s.ok()) return s;
+  if (disk_log_ != nullptr) {
+    // Undo of losers appended CLR/abort records; make them durable
+    // before the database is reopened for business.
+    log_->Flush(log_->last_lsn());
+  }
   RebuildErts(store_.get(), erts_.get());
   analyzer_->SkipToEnd();
   analyzer_->Start(options_.analyzer_mode);

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <string>
 
 #include "common/epoch.h"
 #include "common/latch.h"
@@ -18,6 +19,9 @@
 #include "storage/object_store.h"
 #include "txn/lock_manager.h"
 #include "txn/transaction_manager.h"
+#include "common/stats.h"
+#include "wal/checkpoint_store.h"
+#include "wal/disk_log.h"
 #include "wal/log_manager.h"
 #include "wal/recovery.h"
 
@@ -65,6 +69,17 @@ struct DatabaseOptions {
   bool enable_lock_history = false;
 
   LogAnalyzer::Mode analyzer_mode = LogAnalyzer::Mode::kThread;
+
+  // Durability substrate (DESIGN.md §12). kInMemory is the fast default
+  // every existing test runs under: the stable log is a deque and a
+  // force is the modeled commit_flush_latency. kDisk puts WAL segment
+  // files and generation-stamped checkpoint images under wal_dir, with
+  // real fsyncs (per fsync_mode) and a corruption-aware recovery scan.
+  // Check durability_status() after construction in kDisk mode.
+  Durability durability = Durability::kInMemory;
+  std::string wal_dir;
+  uint64_t wal_segment_bytes = kWalSegmentBytes;
+  FsyncMode fsync_mode = FsyncMode::kFull;
 
   // If > 0, retained log records are trimmed whenever their count exceeds
   // this threshold, keeping everything still needed for active-transaction
@@ -122,17 +137,34 @@ class Database {
 
   // --- durability ---------------------------------------------------------
   // Takes a sharp checkpoint (quiesces (append, apply) pairs briefly).
-  void Checkpoint();
+  // In kDisk mode the image is additionally serialized and published
+  // atomically as the next generation; a failure leaves the previous
+  // on-disk generation (and the previous in-memory image) in force.
+  Status Checkpoint();
   const CheckpointImage& checkpoint() const { return checkpoint_; }
+
+  // Non-OK when kDisk initialization failed (bad wal_dir, injected open
+  // fault): the database falls back to in-memory logging.
+  const Status& durability_status() const { return durability_status_; }
 
   // Crash simulation: all client threads must be stopped. Drops every
   // record not flushed to the stable log and all volatile state (locks,
-  // active transactions, TRT, analyzer cursor). Call Recover() next.
+  // active transactions, TRT, analyzer cursor — and, in kDisk mode, the
+  // volatile checkpoint image and queued WAL frames: the disk is the
+  // only survivor). Call Recover() next.
   void SimulateCrash();
 
-  // Restart recovery: restores the checkpoint image, redoes history,
-  // undoes losers, rebuilds ERTs by scanning, and restarts the analyzer.
-  Status Recover();
+  // Restart recovery: in kDisk mode first reloads the newest checkpoint
+  // generation that verifies and scans the WAL segments (CRC + LSN
+  // chain, truncating an unacknowledged torn tail, Status::Corrupted if
+  // stable data is damaged); then restores the checkpoint image, redoes
+  // history, undoes losers, rebuilds ERTs, and restarts the analyzer.
+  // Scrub counters fold into *stats when given.
+  Status Recover(ReorgStats* stats = nullptr);
+
+  // Cumulative scrub counters across every Recover on this database.
+  const ScrubReport& scrub() const { return scrub_; }
+  DiskLog* disk_log() { return disk_log_.get(); }
 
  private:
   void MaybeTruncateLog();
@@ -153,6 +185,13 @@ class Database {
   std::unique_ptr<TransactionManager> txns_;
   SharedLatch checkpoint_latch_;
   CheckpointImage checkpoint_;
+
+  // kDisk mode (DESIGN.md §12): null in kInMemory mode.
+  std::unique_ptr<DiskLog> disk_log_;
+  std::unique_ptr<CheckpointStore> ckpt_store_;
+  uint64_t ckpt_generation_ = 0;
+  Status durability_status_;
+  ScrubReport scrub_;
 };
 
 }  // namespace brahma

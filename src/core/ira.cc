@@ -10,6 +10,7 @@
 #include "common/clock.h"
 #include "common/epoch.h"
 #include "common/failpoint.h"
+#include "common/file_util.h"
 #include "core/fuzzy_traversal.h"
 #include "core/migration_pipe.h"
 
@@ -52,6 +53,9 @@ Status IraReorganizer::Run(PartitionId p, RelocationPlanner* planner,
   const uint64_t gc_batches_before = ctx_.log->group_commit_batches();
   const uint64_t gc_absorbed_before =
       ctx_.log->group_commit_forces_absorbed();
+  const uint64_t fsyncs_before = ctx_.log->fsyncs();
+  const uint64_t media_faults_before =
+      MediaFaultInjector::Instance().faults_injected();
   const uint64_t dd_before = ctx_.locks->deadlocks_detected();
   const uint64_t va_before = ctx_.locks->victims_aborted();
   const uint64_t vw_before = ctx_.locks->victim_wait_saved_ms();
@@ -114,6 +118,12 @@ Status IraReorganizer::Run(PartitionId p, RelocationPlanner* planner,
       ctx_.log->group_commit_batches() - gc_batches_before;
   stats->forces_absorbed +=
       ctx_.log->group_commit_forces_absorbed() - gc_absorbed_before;
+  // Durability deltas (kInMemory mode contributes zeros): real fsyncs
+  // the run's commits paid, and media faults the file layer injected
+  // while the run overlapped them.
+  stats->fsyncs += ctx_.log->fsyncs() - fsyncs_before;
+  stats->media_faults_injected +=
+      MediaFaultInjector::Instance().faults_injected() - media_faults_before;
   // Deadlock counters are shared LockManager state, delta'd like the
   // group-commit ones: cycles a user transaction broke against this run
   // belong to this run's story.
@@ -150,6 +160,9 @@ Status IraReorganizer::Resume(const ReorgCheckpoint& checkpoint,
   const uint64_t gc_batches_before = ctx_.log->group_commit_batches();
   const uint64_t gc_absorbed_before =
       ctx_.log->group_commit_forces_absorbed();
+  const uint64_t fsyncs_before = ctx_.log->fsyncs();
+  const uint64_t media_faults_before =
+      MediaFaultInjector::Instance().faults_injected();
   const uint64_t dd_before = ctx_.locks->deadlocks_detected();
   const uint64_t va_before = ctx_.locks->victims_aborted();
   const uint64_t vw_before = ctx_.locks->victim_wait_saved_ms();
@@ -243,6 +256,12 @@ Status IraReorganizer::Resume(const ReorgCheckpoint& checkpoint,
       ctx_.log->group_commit_batches() - gc_batches_before;
   stats->forces_absorbed +=
       ctx_.log->group_commit_forces_absorbed() - gc_absorbed_before;
+  // Durability deltas (kInMemory mode contributes zeros): real fsyncs
+  // the run's commits paid, and media faults the file layer injected
+  // while the run overlapped them.
+  stats->fsyncs += ctx_.log->fsyncs() - fsyncs_before;
+  stats->media_faults_injected +=
+      MediaFaultInjector::Instance().faults_injected() - media_faults_before;
   stats->deadlocks_detected += ctx_.locks->deadlocks_detected() - dd_before;
   stats->victims_aborted += ctx_.locks->victims_aborted() - va_before;
   stats->victim_wait_ms_saved +=

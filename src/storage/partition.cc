@@ -274,7 +274,9 @@ Partition::Image Partition::Snapshot() const {
 void Partition::Restore(const Image& image) {
   std::lock_guard<std::mutex> g(mu_);
   std::memset(arena_.get(), 0, capacity_);
-  std::memcpy(arena_.get(), image.bytes.data(), image.bytes.size());
+  if (!image.bytes.empty()) {
+    std::memcpy(arena_.get(), image.bytes.data(), image.bytes.size());
+  }
   high_water_ = image.high_water;
   free_list_ = image.free_list;
   // Reset latch words: latches are volatile state and must come up free.

@@ -1,0 +1,59 @@
+#ifndef BRAHMA_WAL_CHECKPOINT_STORE_H_
+#define BRAHMA_WAL_CHECKPOINT_STORE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/file_util.h"
+#include "common/params.h"
+#include "common/status.h"
+#include "wal/disk_log.h"
+#include "wal/recovery.h"
+
+namespace brahma {
+
+// Durable checkpoint images (DESIGN.md §12). Each checkpoint serializes
+// the whole CheckpointImage to `ckpt-<generation>.tmp`, fsyncs it, and
+// publishes with an atomic rename to `ckpt-<generation>` — a crash at
+// any instant leaves either the new generation fully published or the
+// previous one untouched. The two most recent generations are kept so a
+// published-but-damaged image (media fault) still has a fallback; the
+// trailing CRC over the entire file decides whether a generation is
+// usable. LoadLatest walks generations newest-first and counts the ones
+// it had to discard.
+class CheckpointStore {
+ public:
+  struct Options {
+    std::string dir;
+    FsyncMode fsync_mode = FsyncMode::kFull;
+  };
+
+  explicit CheckpointStore(Options opts) : opts_(std::move(opts)) {}
+
+  // Creates the directory if needed, clears stray .tmp files from a
+  // crash mid-serialize, and returns the highest published generation
+  // (0 if none) so the caller continues the stamp sequence.
+  Status Open(uint64_t* latest_generation);
+
+  // Serializes `img` and atomically publishes it as `generation`.
+  // Nothing about any previously published generation changes until the
+  // rename; on any failure the temp file is removed and the previous
+  // image remains the latest. On success, generations older than
+  // `generation - 1` are pruned.
+  Status Save(const CheckpointImage& img, uint64_t generation);
+
+  // Loads the newest generation that verifies, reporting each discarded
+  // one in report->checkpoint_generations_discarded. NotFound when no
+  // usable generation exists (callers recover from the log alone).
+  Status LoadLatest(CheckpointImage* img, uint64_t* generation,
+                    ScrubReport* report);
+
+ private:
+  std::string GenPath(uint64_t generation) const;
+
+  Options opts_;
+};
+
+}  // namespace brahma
+
+#endif  // BRAHMA_WAL_CHECKPOINT_STORE_H_

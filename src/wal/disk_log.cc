@@ -1,0 +1,520 @@
+#include "wal/disk_log.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace brahma {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'R', 'W', 'A', 'L', 'S', 'E', 'G'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr uint64_t kSegHeaderSize = 40;
+constexpr uint64_t kFrameHeaderSize = 9;  // u32 len | u8 kind | u32 crc
+constexpr uint8_t kFrameKind = 0xC7;
+constexpr uint32_t kMaxFrameBytes = 1u << 30;  // sanity cap for the scan
+constexpr size_t kRecyclePoolCap = 4;
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+// Bounds-checked cursor for decoding; any overrun poisons `ok`.
+struct Reader {
+  const uint8_t* p;
+  size_t n;
+  size_t off = 0;
+  bool ok = true;
+
+  uint8_t U8() {
+    if (off + 1 > n) { ok = false; return 0; }
+    return p[off++];
+  }
+  uint32_t U32() {
+    if (off + 4 > n) { ok = false; return 0; }
+    uint32_t v = LoadU32(p + off);
+    off += 4;
+    return v;
+  }
+  uint64_t U64() {
+    if (off + 8 > n) { ok = false; return 0; }
+    uint64_t v = LoadU64(p + off);
+    off += 8;
+    return v;
+  }
+  bool Bytes(std::vector<uint8_t>* out, size_t len) {
+    if (off + len > n) { ok = false; return false; }
+    out->assign(p + off, p + off + len);
+    off += len;
+    return true;
+  }
+};
+
+// 40-byte segment header: magic | version | incarnation | seqno |
+// base_lsn | CRC over the preceding 32 bytes | zero pad.
+void BuildSegmentHeader(uint32_t incarnation, uint64_t seqno, Lsn base_lsn,
+                        std::vector<uint8_t>* out) {
+  out->clear();
+  out->insert(out->end(), kMagic, kMagic + 8);
+  PutU32(out, kFormatVersion);
+  PutU32(out, incarnation);
+  PutU64(out, seqno);
+  PutU64(out, base_lsn);
+  PutU32(out, Crc32c(out->data(), 32));
+  PutU32(out, 0);  // pad
+}
+
+struct SegmentHeader {
+  uint32_t incarnation = 0;
+  uint64_t seqno = 0;
+  Lsn base_lsn = kInvalidLsn;
+};
+
+bool ParseSegmentHeader(const uint8_t* p, size_t n, SegmentHeader* out) {
+  if (n < kSegHeaderSize) return false;
+  if (std::memcmp(p, kMagic, 8) != 0) return false;
+  if (LoadU32(p + 8) != kFormatVersion) return false;
+  if (LoadU32(p + 32) != Crc32c(p, 32)) return false;
+  out->incarnation = LoadU32(p + 12);
+  out->seqno = LoadU64(p + 16);
+  out->base_lsn = LoadU64(p + 24);
+  return true;
+}
+
+// [u32 payload len | u8 kind | u32 crc | payload]; the CRC covers the
+// len bytes, the kind byte, and the payload — everything but itself.
+void BuildFrame(const std::vector<uint8_t>& payload, std::vector<uint8_t>* out) {
+  out->clear();
+  out->reserve(kFrameHeaderSize + payload.size());
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU8(out, kFrameKind);
+  uint32_t crc = Crc32c(out->data(), 5);
+  crc = Crc32c(payload.data(), payload.size(), crc);
+  PutU32(out, crc);
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+}  // namespace
+
+void EncodeLogRecord(const LogRecord& rec, std::vector<uint8_t>* out) {
+  out->clear();
+  PutU64(out, rec.lsn);
+  PutU64(out, rec.prev_lsn);
+  PutU64(out, rec.txn);
+  PutU8(out, static_cast<uint8_t>(rec.type));
+  PutU8(out, static_cast<uint8_t>(rec.source));
+  PutU8(out, static_cast<uint8_t>(rec.compensates));
+  PutU64(out, rec.oid.raw());
+  PutU64(out, rec.old_ref.raw());
+  PutU64(out, rec.new_ref.raw());
+  PutU64(out, rec.reorg_old.raw());
+  PutU32(out, rec.slot);
+  PutU32(out, rec.num_refs);
+  PutU32(out, rec.data_size);
+  PutU64(out, rec.undo_next_lsn);
+  PutU64(out, rec.checkpoint_lsn);
+  PutU32(out, static_cast<uint32_t>(rec.old_data.size()));
+  out->insert(out->end(), rec.old_data.begin(), rec.old_data.end());
+  PutU32(out, static_cast<uint32_t>(rec.new_data.size()));
+  out->insert(out->end(), rec.new_data.begin(), rec.new_data.end());
+  PutU32(out, static_cast<uint32_t>(rec.refs_image.size()));
+  for (ObjectId ref : rec.refs_image) PutU64(out, ref.raw());
+}
+
+bool DecodeLogRecord(const uint8_t* data, size_t n, LogRecord* out) {
+  Reader r{data, n};
+  out->lsn = r.U64();
+  out->prev_lsn = r.U64();
+  out->txn = r.U64();
+  uint8_t type = r.U8();
+  uint8_t source = r.U8();
+  uint8_t compensates = r.U8();
+  out->oid = ObjectId::FromRaw(r.U64());
+  out->old_ref = ObjectId::FromRaw(r.U64());
+  out->new_ref = ObjectId::FromRaw(r.U64());
+  out->reorg_old = ObjectId::FromRaw(r.U64());
+  out->slot = r.U32();
+  out->num_refs = r.U32();
+  out->data_size = r.U32();
+  out->undo_next_lsn = r.U64();
+  out->checkpoint_lsn = r.U64();
+  uint32_t old_len = r.U32();
+  if (!r.ok || !r.Bytes(&out->old_data, old_len)) return false;
+  uint32_t new_len = r.U32();
+  if (!r.ok || !r.Bytes(&out->new_data, new_len)) return false;
+  uint32_t refs = r.U32();
+  if (!r.ok || r.off + static_cast<size_t>(refs) * 8 > r.n) return false;
+  out->refs_image.clear();
+  out->refs_image.reserve(refs);
+  for (uint32_t i = 0; i < refs; ++i) {
+    out->refs_image.push_back(ObjectId::FromRaw(r.U64()));
+  }
+  if (!r.ok || r.off != r.n) return false;
+  // Enum-range checks: the CRC already caught random damage, but a
+  // validly-framed record from a future format must not be misread.
+  if (type > static_cast<uint8_t>(LogRecordType::kCheckpoint)) return false;
+  if (source > static_cast<uint8_t>(LogSource::kReorg)) return false;
+  if (compensates > static_cast<uint8_t>(LogRecordType::kCheckpoint)) {
+    return false;
+  }
+  out->type = static_cast<LogRecordType>(type);
+  out->source = static_cast<LogSource>(source);
+  out->compensates = static_cast<LogRecordType>(compensates);
+  return true;
+}
+
+std::string DiskLog::SegmentPath(uint64_t seqno) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06llu.seg",
+                static_cast<unsigned long long>(seqno));
+  return opts_.dir + "/" + buf;
+}
+
+Status DiskLog::Open() {
+  std::lock_guard<std::mutex> io_lock(io_mu_);
+  Status s = MakeDirs(opts_.dir);
+  if (!s.ok()) return s;
+  std::vector<std::string> names;
+  s = ListDir(opts_.dir, &names);
+  if (!s.ok() && !s.IsNotFound()) return s;
+  uint64_t max_seqno = 0;
+  for (const std::string& name : names) {
+    if (name.rfind("wal-", 0) == 0 && name.size() > 8 &&
+        name.compare(name.size() - 4, 4, ".seg") == 0) {
+      uint64_t seqno = std::strtoull(name.c_str() + 4, nullptr, 10);
+      max_seqno = std::max(max_seqno, seqno);
+    }
+  }
+  next_seqno_ = max_seqno + 1;
+  ++incarnation_;
+  return Status::Ok();
+}
+
+void DiskLog::Buffer(const LogRecord& rec) {
+  PendingFrame frame;
+  frame.lsn = rec.lsn;
+  std::vector<uint8_t> payload;
+  EncodeLogRecord(rec, &payload);
+  BuildFrame(payload, &frame.bytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.push_back(std::move(frame));
+}
+
+Status DiskLog::OpenFreshSegmentLocked(Lsn base_lsn) {
+  uint64_t seqno = next_seqno_++;
+  std::string path = SegmentPath(seqno);
+  if (!recycle_.empty()) {
+    // Reuse a truncated-away segment's blocks; fall through to a plain
+    // create if the rename fails.
+    std::string old = recycle_.back();
+    recycle_.pop_back();
+    if (!AtomicRename(old, path, "media:wal", FsyncMode::kNoop).ok()) {
+      RemoveFile(old);
+    }
+  }
+  Status s = FileHandle::Open(path, /*create=*/true, /*truncate=*/true,
+                              "media:wal", &cur_);
+  if (!s.ok()) return s;
+  std::vector<uint8_t> header;
+  BuildSegmentHeader(incarnation_, seqno, base_lsn, &header);
+  s = cur_.WriteAt(0, header.data(), header.size(), nullptr);
+  if (!s.ok()) {
+    // A torn header would read as a corrupt segment mid-log once later
+    // segments exist; remove the carcass so retry starts clean.
+    cur_.Close();
+    RemoveFile(path);
+    return s;
+  }
+  // Make the directory entry durable before any frame in the segment is
+  // acknowledged.
+  Status ds = SyncDir(opts_.dir, opts_.fsync_mode);
+  if (!ds.ok()) {
+    cur_.Close();
+    RemoveFile(path);
+    return ds;
+  }
+  cur_off_ = kSegHeaderSize;
+  cur_dirty_ = true;
+  segments_.push_back(Segment{seqno, base_lsn, base_lsn});
+  return Status::Ok();
+}
+
+Status DiskLog::SyncCurrentLocked() {
+  if (!cur_.is_open() || !cur_dirty_) return Status::Ok();
+  Status s = cur_.Sync(opts_.fsync_mode);
+  if (s.ok()) {
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    cur_dirty_ = false;
+  }
+  return s;
+}
+
+Status DiskLog::Force() {
+  std::deque<PendingFrame> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch.swap(pending_);
+  }
+  std::lock_guard<std::mutex> io_lock(io_mu_);
+  auto requeue_from = [&](size_t idx) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = batch.size(); i > idx; --i) {
+      pending_.push_front(std::move(batch[i - 1]));
+    }
+  };
+  for (size_t i = 0; i < batch.size(); ++i) {
+    PendingFrame& f = batch[i];
+    bool rotate = cur_.is_open() && cur_off_ > kSegHeaderSize &&
+                  cur_off_ + f.bytes.size() > opts_.segment_bytes;
+    if (rotate) {
+      // Seal the old segment: its frames must be on the platter before
+      // we stop syncing it.
+      Status s = SyncCurrentLocked();
+      if (!s.ok()) {
+        requeue_from(i);
+        return s;
+      }
+      cur_.Close();
+    }
+    if (!cur_.is_open()) {
+      Status s = OpenFreshSegmentLocked(f.lsn);
+      if (!s.ok()) {
+        requeue_from(i);
+        return s;
+      }
+    }
+    size_t written = 0;
+    Status s = cur_.WriteAt(cur_off_, f.bytes.data(), f.bytes.size(), &written);
+    if (!s.ok()) {
+      // Torn write: `written` bytes of garbage sit past cur_off_. The
+      // offset does not advance, so a retry rewrites the frame in place
+      // and a crash leaves a torn tail for the recovery scan.
+      cur_dirty_ = cur_dirty_ || written > 0;
+      requeue_from(i);
+      return s;
+    }
+    cur_off_ += f.bytes.size();
+    cur_dirty_ = true;
+    segments_.back().next_lsn = f.lsn + 1;
+  }
+  return SyncCurrentLocked();
+}
+
+void DiskLog::CrashClose() {
+  std::lock_guard<std::mutex> io_lock(io_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.clear();
+  cur_.Close();
+  cur_off_ = 0;
+  cur_dirty_ = false;
+  segments_.clear();
+  recycle_.clear();
+}
+
+Status DiskLog::Recover(Lsn stable_floor, std::vector<LogRecord>* out,
+                        ScrubReport* report) {
+  std::lock_guard<std::mutex> io_lock(io_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.clear();
+  }
+  cur_.Close();
+  cur_off_ = 0;
+  cur_dirty_ = false;
+  segments_.clear();
+  recycle_.clear();
+  out->clear();
+  ++incarnation_;
+
+  std::vector<std::string> names;
+  Status s = ListDir(opts_.dir, &names);
+  if (s.IsNotFound()) {
+    s = MakeDirs(opts_.dir);
+    if (!s.ok()) return s;
+    names.clear();
+  } else if (!s.ok()) {
+    return s;
+  }
+  std::vector<std::pair<uint64_t, std::string>> files;  // (seqno, path)
+  uint64_t max_seqno = 0;
+  for (const std::string& name : names) {
+    if (name.rfind("recycle-", 0) == 0) {
+      // The pool is rebuilt by truncation; stale entries are garbage.
+      RemoveFile(opts_.dir + "/" + name);
+      continue;
+    }
+    if (name.rfind("wal-", 0) == 0 && name.size() > 8 &&
+        name.compare(name.size() - 4, 4, ".seg") == 0) {
+      uint64_t seqno = std::strtoull(name.c_str() + 4, nullptr, 10);
+      files.emplace_back(seqno, opts_.dir + "/" + name);
+      max_seqno = std::max(max_seqno, seqno);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  next_seqno_ = max_seqno + 1;
+
+  Lsn expected = 0;  // 0 = no surviving record yet
+  uint64_t tail_trunc_size = ~uint64_t{0};  // truncation point in last seg
+  for (size_t i = 0; i < files.size(); ++i) {
+    const bool is_last = (i + 1 == files.size());
+    std::vector<uint8_t> data;
+    // Work with whatever bytes the device yields — a short read shapes
+    // the data; the scan itself must not error out on it.
+    ReadEntireFile(files[i].second, "media:wal", &data);
+    ++report->segments_scanned;
+    report->wal_bytes_scanned += data.size();
+
+    SegmentHeader hdr;
+    if (!ParseSegmentHeader(data.data(), data.size(), &hdr) ||
+        hdr.seqno != files[i].first) {
+      if (!is_last) {
+        return Status::Corrupted("bad segment header mid-log: " +
+                                 files[i].second);
+      }
+      // Torn segment creation: the header never fully landed. Every
+      // frame it would have held is above `expected`.
+      Lsn last_good = (expected == 0) ? 0 : expected - 1;
+      if (last_good < stable_floor) {
+        return Status::Corrupted("torn head segment would lose stable lsns");
+      }
+      RemoveFile(files[i].second);
+      ++report->torn_tails_truncated;
+      report->torn_bytes_discarded += data.size();
+      break;
+    }
+    if (expected == 0) {
+      // First surviving segment: everything below its base was
+      // truncated, which only ever happens under a checkpoint that
+      // covers it.
+      if (hdr.base_lsn > stable_floor + 1) {
+        return Status::Corrupted("log head starts past the stable floor");
+      }
+    } else if (hdr.base_lsn != expected) {
+      return Status::Corrupted("segment gap: expected lsn " +
+                               std::to_string(expected) + ", segment starts at " +
+                               std::to_string(hdr.base_lsn));
+    }
+    expected = hdr.base_lsn;
+
+    uint64_t off = kSegHeaderSize;
+    bool torn_here = false;
+    while (off < data.size()) {
+      uint64_t bad_at = off;
+      bool good = false;
+      LogRecord rec;
+      if (data.size() - off >= kFrameHeaderSize) {
+        uint32_t len = LoadU32(data.data() + off);
+        uint8_t kind = data[off + 4];
+        uint32_t crc = LoadU32(data.data() + off + 5);
+        if (kind == kFrameKind && len > 0 && len <= kMaxFrameBytes &&
+            off + kFrameHeaderSize + len <= data.size()) {
+          uint32_t actual = Crc32c(data.data() + off, 5);
+          actual = Crc32c(data.data() + off + kFrameHeaderSize, len, actual);
+          if (actual == crc &&
+              DecodeLogRecord(data.data() + off + kFrameHeaderSize, len,
+                              &rec) &&
+              rec.lsn == expected) {
+            good = true;
+            off += kFrameHeaderSize + len;
+          }
+        }
+      }
+      if (good) {
+        out->push_back(std::move(rec));
+        ++expected;
+        ++report->wal_records_verified;
+        continue;
+      }
+      // Bad or short frame at bad_at.
+      if (!is_last) {
+        return Status::Corrupted("bad frame mid-log in " + files[i].second);
+      }
+      Lsn last_good = expected - 1;
+      if (last_good < stable_floor) {
+        return Status::Corrupted(
+            "torn tail would lose stable lsn " + std::to_string(expected) +
+            " (floor " + std::to_string(stable_floor) + ")");
+      }
+      ++report->torn_tails_truncated;
+      report->torn_bytes_discarded += data.size() - bad_at;
+      tail_trunc_size = bad_at;
+      torn_here = true;
+      break;
+    }
+    segments_.push_back(Segment{hdr.seqno, hdr.base_lsn, expected});
+    if (torn_here) break;
+  }
+
+  Lsn last_good = (expected == 0) ? 0 : expected - 1;
+  if (last_good < stable_floor) {
+    return Status::Corrupted("stable lsns missing: log ends at " +
+                             std::to_string(last_good) + ", floor " +
+                             std::to_string(stable_floor));
+  }
+
+  if (!segments_.empty()) {
+    const Segment& tail = segments_.back();
+    Status os = FileHandle::Open(SegmentPath(tail.seqno), /*create=*/false,
+                                 /*truncate=*/false, "media:wal", &cur_);
+    if (!os.ok()) return os;
+    uint64_t size = 0;
+    os = cur_.Size(&size);
+    if (!os.ok()) return os;
+    if (tail_trunc_size != ~uint64_t{0} && tail_trunc_size < size) {
+      os = cur_.Truncate(tail_trunc_size);
+      if (!os.ok()) return os;
+      size = tail_trunc_size;
+      cur_dirty_ = true;  // the shrink itself must reach the platter
+    }
+    cur_off_ = size;
+  }
+  return Status::Ok();
+}
+
+void DiskLog::TruncateThrough(Lsn upto) {
+  std::lock_guard<std::mutex> io_lock(io_mu_);
+  while (segments_.size() > 1 && segments_[1].base_lsn <= upto) {
+    const Segment& victim = segments_.front();
+    std::string path = SegmentPath(victim.seqno);
+    if (recycle_.size() < kRecyclePoolCap) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "recycle-%06llu.seg",
+                    static_cast<unsigned long long>(victim.seqno));
+      std::string rpath = opts_.dir + "/" + buf;
+      if (AtomicRename(path, rpath, "media:wal", FsyncMode::kNoop).ok()) {
+        recycle_.push_back(rpath);
+      } else {
+        RemoveFile(path);
+      }
+    } else {
+      RemoveFile(path);
+    }
+    segments_.erase(segments_.begin());
+  }
+}
+
+uint64_t DiskLog::fsyncs() const {
+  return fsyncs_.load(std::memory_order_relaxed);
+}
+
+}  // namespace brahma

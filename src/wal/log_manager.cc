@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/failpoint.h"
+#include "wal/disk_log.h"
 
 namespace brahma {
 
@@ -16,16 +17,28 @@ Lsn LogManager::Append(LogRecord record) {
   record.lsn = next_lsn_++;
   Lsn lsn = record.lsn;
   records_.push_back(record);
+  // Mirror into the disk backend under mu_ so frames carry append order.
+  if (dlog_ != nullptr) dlog_->Buffer(records_.back());
   if (observer_) observer_(records_.back());
   return lsn;
 }
 
-void LogManager::Flush(Lsn target) {
+Status LogManager::DevicePay() {
+  if (flush_latency_.count() > 0) {
+    std::this_thread::sleep_for(flush_latency_);
+  }
+  if (dlog_ != nullptr) return dlog_->Force();
+  return Status::Ok();
+}
+
+void LogManager::Flush(Lsn target) { FlushInternal(target); }
+
+Status LogManager::FlushInternal(Lsn target) {
   // Delay-only site: a slow force at commit time (group-commit stall).
   BRAHMA_FAILPOINT_HIT("wal:flush");
   std::unique_lock<std::mutex> l(mu_);
   const Lsn capped = std::min(target, next_lsn_ - 1);
-  if (capped <= stable_lsn_) return;  // already durable when requested
+  if (capped <= stable_lsn_) return Status::Ok();  // already durable
   // The log device is one disk head: forces serialize, and without group
   // commit they do NOT coalesce — every committer that found its records
   // unstable pays a full force of its own, strictly FIFO, even if a
@@ -36,23 +49,22 @@ void LogManager::Flush(Lsn target) {
   while (force_in_progress_) force_cv_.wait(l);
   force_in_progress_ = true;
   l.unlock();
-  // Pay the device latency *before* the records become stable: a commit
-  // must not observe durability until the modeled force completes.
-  if (flush_latency_.count() > 0) {
-    std::this_thread::sleep_for(flush_latency_);
-  }
+  // Pay the device *before* the records become stable: a commit must not
+  // observe durability until the force actually completes.
+  Status dev = DevicePay();
   l.lock();
   force_in_progress_ = false;
-  stable_lsn_ = std::max(stable_lsn_, capped);
+  if (dev.ok()) stable_lsn_ = std::max(stable_lsn_, capped);
   force_cv_.notify_all();
+  return dev;
 }
 
 Status LogManager::ForceCommit(Lsn target) {
   if (!group_commit_) {
     // Ablation / legacy mode: every committer queues for a serial force
-    // of its own. Flush hits the "wal:flush" delay site itself.
-    Flush(target);
-    return Status::Ok();
+    // of its own. FlushInternal hits the "wal:flush" delay site itself;
+    // a device failure propagates so the commit is never acknowledged.
+    return FlushInternal(target);
   }
   // Same delay-only site as Flush — a stalled device stalls the batch.
   BRAHMA_FAILPOINT_HIT("wal:flush");
@@ -77,19 +89,38 @@ Status LogManager::ForceCommit(Lsn target) {
   gc_batches_.fetch_add(1, std::memory_order_relaxed);
   l.unlock();
   // Device force, paid outside the mutex (appends continue meanwhile).
-  if (flush_latency_.count() > 0) {
-    std::this_thread::sleep_for(flush_latency_);
-  }
+  Status dev = DevicePay();
   // Crash window between the device force and the durability
   // acknowledgement: records may be on disk but stable_lsn_ never
   // advances, so neither the flusher nor any absorbed waiter may treat
   // its transaction as committed.
   Status fp = failpoint::Check("wal:group-commit:after-force");
+  if (!dev.ok()) fp = dev;  // a failed force trumps the crash window
   l.lock();
   force_in_progress_ = false;  // cleared even on crash: waiters re-elect
   if (fp.ok()) stable_lsn_ = std::max(stable_lsn_, batch_target);
   force_cv_.notify_all();
   return fp;
+}
+
+uint64_t LogManager::fsyncs() const {
+  return dlog_ != nullptr ? dlog_->fsyncs() : 0;
+}
+
+void LogManager::ResetFromRecovered(std::vector<LogRecord> records,
+                                    Lsn next_if_empty) {
+  std::unique_lock<std::mutex> l(mu_);
+  records_.assign(records.begin(), records.end());
+  if (records_.empty()) {
+    first_lsn_ = next_if_empty;
+    next_lsn_ = next_if_empty;
+    stable_lsn_ = next_if_empty - 1;
+  } else {
+    first_lsn_ = records_.front().lsn;
+    next_lsn_ = records_.back().lsn + 1;
+    stable_lsn_ = records_.back().lsn;
+  }
+  assert(next_lsn_ == first_lsn_ + static_cast<Lsn>(records_.size()));
 }
 
 Lsn LogManager::last_lsn() const {
@@ -147,11 +178,16 @@ size_t LogManager::NumRecords() const {
 }
 
 void LogManager::Truncate(Lsn upto) {
-  std::unique_lock<std::mutex> l(mu_);
-  while (!records_.empty() && records_.front().lsn < upto) {
-    records_.pop_front();
-    ++first_lsn_;
+  {
+    std::unique_lock<std::mutex> l(mu_);
+    while (!records_.empty() && records_.front().lsn < upto) {
+      records_.pop_front();
+      ++first_lsn_;
+    }
   }
+  // Disk truncation outside mu_: recycling segments can touch the
+  // directory and must not stall appenders.
+  if (dlog_ != nullptr) dlog_->TruncateThrough(upto);
 }
 
 }  // namespace brahma

@@ -16,6 +16,8 @@
 
 namespace brahma {
 
+class DiskLog;
+
 // Write-ahead log. Transactions follow the WAL protocol of the paper
 // (Section 2): the undo value is logged before the update is performed;
 // the redo value may be logged any time before the lock on the object is
@@ -67,6 +69,21 @@ class LogManager {
   void set_group_commit(bool on) { group_commit_ = on; }
   bool group_commit() const { return group_commit_; }
 
+  // Durability backend (DESIGN.md §12). When attached, every append is
+  // mirrored into the DiskLog's pending queue under the log mutex (so
+  // frames carry LSN order) and a force becomes a real device write +
+  // fsync instead of the modeled latency; stable_lsn_ advances only when
+  // the device force succeeds. Install before any activity.
+  void AttachDiskLog(DiskLog* dlog) { dlog_ = dlog; }
+
+  // fsyncs performed by the attached backend (0 when in-memory).
+  uint64_t fsyncs() const;
+
+  // Rebuilds in-memory state from the records a recovery scan salvaged
+  // (all of them are on stable storage, so stable_lsn_ = the last one).
+  // next_if_empty seeds the LSN sequence when nothing survived.
+  void ResetFromRecovered(std::vector<LogRecord> records, Lsn next_if_empty);
+
   // Group-commit accounting (monotone; readers take deltas per run).
   uint64_t group_commit_batches() const {
     return gc_batches_.load(std::memory_order_relaxed);
@@ -110,8 +127,16 @@ class LogManager {
   }
 
  private:
+  // Serial device force shared by Flush and ForceCommit: pays the
+  // modeled latency and/or the attached DiskLog's real write+fsync.
+  // Called with mu_ NOT held. Non-ok means durability was not achieved
+  // and stable_lsn_ must not advance.
+  Status DevicePay();
+  Status FlushInternal(Lsn target);
+
   mutable std::mutex mu_;
   std::deque<LogRecord> records_;  // records_[i].lsn == first_lsn_ + i
+  DiskLog* dlog_ = nullptr;
   Lsn first_lsn_ = 1;
   Lsn next_lsn_ = 1;
   Lsn stable_lsn_ = 0;

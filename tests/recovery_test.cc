@@ -2,6 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/file_util.h"
 #include "core/database.h"
 #include "tests/test_util.h"
 #include "workload/graph_builder.h"
@@ -53,10 +61,10 @@ TEST_F(RecoveryTest, UncommittedTxnIsUndone) {
     // Force the update records to the stable log, then "crash" before the
     // commit record exists: the transaction is a loser.
     db_.log().Flush(db_.log().last_lsn());
-    // Leak the txn intentionally past the crash: release it without
-    // running abort paths by simulating the crash first.
+    // Carry the txn past the crash without running abort paths: Abandon
+    // has crash semantics (no undo, no abort record).
     db_.SimulateCrash();
-    txn.release();  // NOLINT: crashed process never ran the destructor
+    txn->Abandon();
   }
   ASSERT_TRUE(db_.Recover().ok());
   const ObjectHeader* h = db_.store().Get(a);
@@ -74,7 +82,7 @@ TEST_F(RecoveryTest, UnflushedCommittedTailIsLost) {
     ASSERT_TRUE(txn->WriteData(a, std::vector<uint8_t>(8, 0x77)).ok());
     // no flush, no commit
     db_.SimulateCrash();
-    txn.release();
+    txn->Abandon();
   }
   ASSERT_TRUE(db_.Recover().ok());
   const ObjectHeader* h = db_.store().Get(a);
@@ -219,6 +227,248 @@ TEST_F(RecoveryTest, CompletedMigrationNotReported) {
   db_.SimulateCrash();
   ASSERT_TRUE(db_.Recover().ok());
   EXPECT_TRUE(FindInterruptedMigrations(&db_.store(), &db_.log()).empty());
+}
+
+
+// ---------------------------------------------------------------------------
+// Disk-backed recovery (DESIGN.md §12): the same crash/recover cycle, but
+// with a real WAL segment directory and checkpoint images, plus injected
+// media faults. Every fault class runs in "both recovery orders": with a
+// prior checkpoint image on disk and without one.
+// ---------------------------------------------------------------------------
+
+// A disk-mode database over its own temp directory. Reopen() replaces the
+// Database in place (the crashed instance's files stay put), modelling a
+// restart of the process against the same volume.
+struct DiskDb {
+  explicit DiskDb(const std::string& tag) : dir(tag) { Reopen(); }
+
+  void Reopen() {
+    DatabaseOptions opt = testing::SmallDbOptions();
+    opt.durability = Durability::kDisk;
+    opt.wal_dir = dir.path();
+    opt.wal_segment_bytes = 4096;  // small: rotation happens in-test
+    opt.fsync_mode = FsyncMode::kNoop;
+    db = std::make_unique<Database>(opt);
+    ASSERT_TRUE(db->durability_status().ok())
+        << db->durability_status().ToString();
+  }
+
+  ObjectId CreateCommitted(PartitionId p, uint8_t fill) {
+    auto txn = db->Begin();
+    ObjectId oid;
+    EXPECT_TRUE(txn->CreateObject(p, 2, 8, &oid).ok());
+    EXPECT_TRUE(txn->WriteData(oid, std::vector<uint8_t>(8, fill)).ok());
+    EXPECT_TRUE(txn->Commit().ok());
+    return oid;
+  }
+
+  Status WriteCommitted(ObjectId oid, uint8_t fill) {
+    auto txn = db->Begin();
+    Status s = txn->Lock(oid, LockMode::kExclusive);
+    if (s.ok()) s = txn->WriteData(oid, std::vector<uint8_t>(8, fill));
+    if (!s.ok()) {
+      txn->Abort();
+      return s;
+    }
+    return txn->Commit();
+  }
+
+  uint8_t DataByte(ObjectId oid) { return db->store().Get(oid)->data()[0]; }
+
+  // Lexically smallest/largest wal-*.seg == lowest/highest seqno
+  // (zero-padded names sort numerically).
+  std::string WalSegment(bool last) {
+    std::vector<std::string> entries;
+    std::vector<std::string> segs;
+    EXPECT_TRUE(ListDir(dir.path(), &entries).ok());
+    for (const auto& e : entries) {
+      if (e.rfind("wal-", 0) == 0) segs.push_back(e);
+    }
+    EXPECT_FALSE(segs.empty());
+    std::sort(segs.begin(), segs.end());
+    return dir.path() + "/" + (last ? segs.back() : segs.front());
+  }
+
+  std::string CkptPath(uint64_t gen) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "/ckpt-%06llu",
+                  static_cast<unsigned long long>(gen));
+    return dir.path() + buf;
+  }
+
+  testing::ScopedTempDir dir;
+  std::unique_ptr<Database> db;
+};
+
+class DiskRecoveryTest : public ::testing::Test {
+ protected:
+  ~DiskRecoveryTest() override {
+    FailPoints::Instance().Reset();
+    MediaFaultInjector::Instance().Reset();
+  }
+};
+
+// Torn-tail truncation table, rows = {no checkpoint, with checkpoint}: a
+// commit whose force tears mid-frame was never acknowledged, so recovery
+// truncates the torn tail and keeps everything acknowledged before it.
+TEST_F(DiskRecoveryTest, TornTailPastStableFloorIsTruncated) {
+  for (bool with_checkpoint : {false, true}) {
+    SCOPED_TRACE(with_checkpoint ? "with checkpoint" : "no checkpoint");
+    DiskDb d("torn-ok");
+    ObjectId a = d.CreateCommitted(1, 0x11);
+    if (with_checkpoint) ASSERT_TRUE(d.db->Checkpoint().ok());
+    ASSERT_TRUE(d.WriteCommitted(a, 0x22).ok());  // acknowledged, above floor
+
+    // The next commit's force tears halfway through its first frame.
+    const uint64_t faults_before =
+        MediaFaultInjector::Instance().faults_injected();
+    ASSERT_TRUE(FailPoints::Instance()
+                    .ArmFromString("media:wal:write=error(io)")
+                    .ok());
+    Status doomed = d.WriteCommitted(a, 0x33);
+    EXPECT_FALSE(doomed.ok());  // never acknowledged
+    FailPoints::Instance().Reset();
+    EXPECT_GT(MediaFaultInjector::Instance().faults_injected(), faults_before);
+
+    d.db->SimulateCrash();
+    ReorgStats rs;
+    ASSERT_TRUE(d.db->Recover(&rs).ok());
+    EXPECT_GE(rs.torn_tails_truncated, 1u);
+    EXPECT_GE(rs.wal_records_verified, 1u);
+    EXPECT_EQ(d.DataByte(a), 0x22);  // acknowledged write survived
+    // The store is fully usable after the truncated recovery.
+    ASSERT_TRUE(d.WriteCommitted(a, 0x44).ok());
+    EXPECT_EQ(d.DataByte(a), 0x44);
+  }
+}
+
+// Tearing the tail *into* the stable floor (checkpointed LSNs) is a media
+// fault recovery cannot paper over: acknowledged history would vanish.
+TEST_F(DiskRecoveryTest, TornTailBelowStableFloorIsCorrupted) {
+  DiskDb d("torn-fatal");
+  ObjectId a = d.CreateCommitted(1, 0x11);
+  ASSERT_TRUE(d.WriteCommitted(a, 0x22).ok());
+  ASSERT_TRUE(d.db->Checkpoint().ok());  // floor covers everything above
+
+  d.db->SimulateCrash();
+  // Post-mortem: chop the (only) segment just past its header, losing
+  // every stable frame.
+  ASSERT_TRUE(
+      InjectFileFault(d.WalSegment(true), FileFaultKind::kTruncateAt, 45)
+          .ok());
+  ReorgStats rs;
+  Status s = d.db->Recover(&rs);
+  EXPECT_TRUE(s.IsCorrupted()) << s.ToString();
+}
+
+// A flipped bit in a non-tail segment fails that frame's CRC while later
+// segments still hold good frames: unambiguous corruption in both orders,
+// never silent truncation.
+TEST_F(DiskRecoveryTest, BitFlipMidLogIsCorrupted) {
+  for (bool with_checkpoint : {false, true}) {
+    SCOPED_TRACE(with_checkpoint ? "with checkpoint" : "no checkpoint");
+    DiskDb d("bitflip");
+    ObjectId a = d.CreateCommitted(1, 0x10);
+    // Enough committed updates to roll into a second 4 KiB segment.
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(d.WriteCommitted(a, static_cast<uint8_t>(i)).ok());
+    }
+    if (with_checkpoint) ASSERT_TRUE(d.db->Checkpoint().ok());
+    std::string first_seg = d.WalSegment(false);
+    ASSERT_NE(first_seg, d.WalSegment(true)) << "expected >= 2 segments";
+
+    d.db->SimulateCrash();
+    // Flip one bit in a frame body well past the 40-byte segment header.
+    ASSERT_TRUE(
+        InjectFileFault(first_seg, FileFaultKind::kBitFlip, 2000 * 8 + 3)
+            .ok());
+    Status s = d.db->Recover(nullptr);
+    EXPECT_TRUE(s.IsCorrupted()) << s.ToString();
+  }
+}
+
+// A failed fsync must fail the commit (no acknowledgment). Recovery is
+// still consistent: the transaction's outcome is merely unresolved, so the
+// surviving value is either the attempt or the last acknowledged write.
+TEST_F(DiskRecoveryTest, FailedFsyncCommitNotAcknowledged) {
+  for (bool with_checkpoint : {false, true}) {
+    SCOPED_TRACE(with_checkpoint ? "with checkpoint" : "no checkpoint");
+    DiskDb d("fsync-fail");
+    ObjectId a = d.CreateCommitted(1, 0x11);
+    if (with_checkpoint) ASSERT_TRUE(d.db->Checkpoint().ok());
+
+    ASSERT_TRUE(FailPoints::Instance()
+                    .ArmFromString("media:wal:fsync=error(io)")
+                    .ok());
+    Status doomed = d.WriteCommitted(a, 0x22);
+    EXPECT_FALSE(doomed.ok());
+    FailPoints::Instance().Reset();
+
+    d.db->SimulateCrash();
+    ASSERT_TRUE(d.db->Recover(nullptr).ok());
+    uint8_t v = d.DataByte(a);
+    EXPECT_TRUE(v == 0x11 || v == 0x22) << static_cast<int>(v);
+    EXPECT_EQ(testing::CountDanglingRefs(&d.db->store()), 0);
+    ASSERT_TRUE(d.WriteCommitted(a, 0x44).ok());
+  }
+}
+
+// Bad newest checkpoint image: recovery falls back to the previous
+// generation; with every generation bad it recovers from the log alone.
+TEST_F(DiskRecoveryTest, StaleCheckpointGenerationFallback) {
+  DiskDb d("ckpt-fallback");
+  ObjectId a = d.CreateCommitted(1, 0x11);
+  ASSERT_TRUE(d.db->Checkpoint().ok());  // generation 1
+  ASSERT_TRUE(d.WriteCommitted(a, 0x22).ok());
+  ASSERT_TRUE(d.db->Checkpoint().ok());  // generation 2
+  ASSERT_TRUE(d.WriteCommitted(a, 0x33).ok());
+
+  // Corrupt the newest image: recovery falls back to generation 1 and
+  // redoes the rest of the log from its (older) floor.
+  d.db->SimulateCrash();
+  ASSERT_TRUE(
+      InjectFileFault(d.CkptPath(2), FileFaultKind::kBitFlip, 777).ok());
+  ReorgStats rs;
+  ASSERT_TRUE(d.db->Recover(&rs).ok());
+  EXPECT_EQ(rs.checkpoint_generations_discarded, 1u);
+  EXPECT_EQ(d.DataByte(a), 0x33);
+
+  // Corrupt both generations: recovery proceeds from the log alone (the
+  // log head is intact back to LSN 1).
+  d.db->SimulateCrash();
+  ASSERT_TRUE(
+      InjectFileFault(d.CkptPath(1), FileFaultKind::kBitFlip, 555).ok());
+  ReorgStats rs2;
+  ASSERT_TRUE(d.db->Recover(&rs2).ok());
+  EXPECT_EQ(rs2.checkpoint_generations_discarded, 2u);
+  EXPECT_EQ(d.DataByte(a), 0x33);
+  EXPECT_EQ(testing::CountDanglingRefs(&d.db->store()), 0);
+}
+
+// A crash between the WAL force and the checkpoint image publication
+// leaves the previous generation in place — rename is atomic, so recovery
+// never sees a half-written current image.
+TEST_F(DiskRecoveryTest, CrashDuringCheckpointPublishKeepsPriorImage) {
+  DiskDb d("ckpt-crash");
+  ObjectId a = d.CreateCommitted(1, 0x11);
+  ASSERT_TRUE(d.db->Checkpoint().ok());  // generation 1
+  ASSERT_TRUE(d.WriteCommitted(a, 0x22).ok());
+
+  // The publication rename of generation 2 fails.
+  ASSERT_TRUE(FailPoints::Instance()
+                  .ArmFromString("media:ckpt:rename=error(io)")
+                  .ok());
+  EXPECT_FALSE(d.db->Checkpoint().ok());
+  FailPoints::Instance().Reset();
+
+  d.db->SimulateCrash();
+  ReorgStats rs;
+  ASSERT_TRUE(d.db->Recover(&rs).ok());
+  EXPECT_EQ(d.DataByte(a), 0x22);  // redone from generation 1's floor
+  ASSERT_TRUE(d.WriteCommitted(a, 0x33).ok());
+  // The next checkpoint publishes cleanly over the failed attempt.
+  ASSERT_TRUE(d.db->Checkpoint().ok());
 }
 
 }  // namespace

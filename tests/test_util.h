@@ -1,14 +1,19 @@
 #ifndef BRAHMA_TESTS_TEST_UTIL_H_
 #define BRAHMA_TESTS_TEST_UTIL_H_
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <deque>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/file_util.h"
 #include "common/random.h"
 #include "core/database.h"
 #include "core/fuzzy_traversal.h"
@@ -16,6 +21,35 @@
 
 namespace brahma {
 namespace testing {
+
+// A process-unique temp directory removed on scope exit (keep()
+// preserves it — the crash fuzzer does this for failing seeds so the
+// WAL dir can be uploaded as a CI artifact).
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& tag = "brahma") {
+    static std::atomic<uint64_t> counter{0};
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "./tmp-%s-%d-%llu", tag.c_str(),
+                  static_cast<int>(::getpid()),
+                  static_cast<unsigned long long>(counter.fetch_add(1)));
+    path_ = buf;
+    RemoveDirRecursive(path_);
+    MakeDirs(path_);
+  }
+  ~ScopedTempDir() {
+    if (!keep_) RemoveDirRecursive(path_);
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  void keep() { keep_ = true; }
+
+ private:
+  std::string path_;
+  bool keep_ = false;
+};
 
 // A small database + workload configuration that builds fast. One spare
 // data partition (the last one) is left empty as a migration destination.
