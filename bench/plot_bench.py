@@ -30,11 +30,11 @@ import sys
 
 # Sweep keys the benchmarks use, in preference order, for --x detection.
 X_KEY_CANDIDATES = ["mpl", "workers", "group_size", "threads",
-                    "objects_per_partition", "update_prob"]
+                    "objects_per_partition", "update_prob", "after"]
 
 # Mode/ablation keys, in preference order, for --series detection.
 SERIES_KEY_CANDIDATES = ["group_commit", "latchfree", "durability", "mode",
-                         "scenario"]
+                         "mode_disk", "scenario"]
 
 ASCII_MARKERS = "*o+x#@"
 SVG_COLORS = ["#1f6feb", "#d1242f", "#1a7f37", "#8250df", "#bf8700",

@@ -121,6 +121,29 @@ enum class FsyncMode : uint8_t { kFull, kNoop };
 // to force rotation with tiny logs.
 inline constexpr uint64_t kWalSegmentBytes = 1ull << 20;
 
+// Data backing for partition arenas (DESIGN.md §13). kMemory is the
+// seed's model: the arena is plain RAM and every page is always
+// resident. kDisk puts the arenas behind a DiskManager data file and a
+// fixed-size frame BufferPool — only a bounded number of pages stay
+// resident, evicted dirty pages are written back, and cold pages are
+// fetched with a real pread. Orthogonal to Durability: the data file is
+// an operational cache, not the durability root (checkpoint + WAL redo
+// remain the recovery truth).
+enum class DataBacking : uint8_t { kMemory, kDisk };
+
+// Page (frame) size of the disk-backed data path. Must be a power of
+// two; partition capacities must be a multiple of it. 4 KiB matches the
+// OS page so a cold frame's memory can be returned to the kernel.
+inline constexpr uint64_t kDataPageSize = 4096;
+
+// Default buffer-pool budget: resident frames across ALL partitions.
+// 256 x 4 KiB = 1 MiB — small on purpose, so the Fig-6 bench can run
+// data several times larger than the pool. The pool refuses fewer than
+// kBufferPoolMinFrames (eviction needs at least one victim candidate
+// while another frame is pinned).
+inline constexpr uint64_t kBufferPoolFrames = 256;
+inline constexpr uint64_t kBufferPoolMinFrames = 2;
+
 // CRC-32C (Castagnoli), reflected form — hardware-friendly and the
 // polynomial every modern WAL uses (iSCSI, ext4, RocksDB).
 inline constexpr uint32_t kCrcPolynomial = 0x82F63B78u;

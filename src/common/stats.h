@@ -96,6 +96,14 @@ struct ReorgStats {
   std::atomic<uint64_t> checkpoint_generations_discarded{0};
   std::atomic<uint64_t> fsyncs{0};
   std::atomic<uint64_t> media_faults_injected{0};
+  // Disk data backing (DESIGN.md §13; deltas of the shared BufferPool
+  // counters over this run, like group_commit_batches): frame pool hits
+  // and misses, frames evicted by CLOCK, and dirty frames written back
+  // to the data file. All zero in kMemory mode.
+  std::atomic<uint64_t> pool_hits{0};
+  std::atomic<uint64_t> pool_misses{0};
+  std::atomic<uint64_t> frames_evicted{0};
+  std::atomic<uint64_t> dirty_writebacks{0};
   double duration_ms = 0;
   std::unordered_map<ObjectId, ObjectId> relocation;
 
@@ -135,6 +143,10 @@ struct ReorgStats {
         other.checkpoint_generations_discarded.load());
     fsyncs.store(other.fsyncs.load());
     media_faults_injected.store(other.media_faults_injected.load());
+    pool_hits.store(other.pool_hits.load());
+    pool_misses.store(other.pool_misses.load());
+    frames_evicted.store(other.frames_evicted.load());
+    dirty_writebacks.store(other.dirty_writebacks.load());
     duration_ms = other.duration_ms;
     std::scoped_lock l(relocation_mu_, other.relocation_mu_);
     relocation = other.relocation;

@@ -11,6 +11,43 @@ Database::Database(const DatabaseOptions& options) : options_(options) {
   store_ = std::make_unique<ObjectStore>(options.num_data_partitions,
                                          options.partition_capacity);
   store_->set_epoch_manager(epoch_.get());
+  if (options.data_backing == DataBacking::kDisk) {
+    const uint64_t ps = options.data_page_size;
+    if (options.data_dir.empty()) {
+      data_status_ =
+          Status::InvalidArgument("kDisk data backing requires data_dir");
+    } else if (ps == 0 || (ps & (ps - 1)) != 0) {
+      data_status_ =
+          Status::InvalidArgument("data_page_size must be a power of two");
+    } else if (options.buffer_pool_frames < kBufferPoolMinFrames) {
+      data_status_ = Status::InvalidArgument(
+          "buffer_pool_frames must be >= kBufferPoolMinFrames");
+    } else if (options.partition_capacity % ps != 0) {
+      data_status_ = Status::InvalidArgument(
+          "partition_capacity must be a multiple of data_page_size");
+    } else {
+      DiskManager::Options mo;
+      mo.dir = options.data_dir;
+      mo.page_size = ps;
+      mo.pages = (uint64_t{options.num_data_partitions} + 1) *
+                 (options.partition_capacity / ps);
+      mo.fsync_mode = options.fsync_mode;
+      disk_data_ = std::make_unique<DiskManager>(std::move(mo));
+      data_status_ = disk_data_->Open();
+    }
+    if (data_status_.ok()) {
+      BufferPool::Options po;
+      po.page_size = ps;
+      po.frames = options.buffer_pool_frames;
+      pool_ =
+          std::make_unique<BufferPool>(po, disk_data_.get(), epoch_.get());
+      store_->AttachBufferPool(pool_.get());
+    } else {
+      // Fall back to fully in-memory arenas; the caller decides whether
+      // that is acceptable via data_status().
+      disk_data_.reset();
+    }
+  }
   log_ = std::make_unique<LogManager>(options.commit_flush_latency);
   log_->set_group_commit(options.group_commit);
   if (options.durability == Durability::kDisk) {
@@ -69,8 +106,11 @@ Database::Database(const DatabaseOptions& options) : options_(options) {
 
 Database::~Database() {
   analyzer_->Stop();
-  // All client threads are gone; release every retired arena range while
-  // the store (whose partitions the callbacks reference) is still alive.
+  // All client threads are gone; hand the pool's queued frame releases
+  // to the epoch manager, then release every retired arena range while
+  // the store (whose partitions the callbacks reference) and the pool
+  // are both still alive.
+  if (pool_ != nullptr) pool_->FlushRetirements();
   epoch_->ForceDrainAll();
 }
 
@@ -103,8 +143,13 @@ Status Database::Checkpoint() {
     // the state after all records with lsn <= img.lsn.
     ExclusiveLatchGuard g(&checkpoint_latch_);
     for (uint32_t p = 0; p < store_->num_partitions(); ++p) {
-      img.images.push_back(
-          store_->partition(static_cast<PartitionId>(p)).Snapshot());
+      Partition::Image pi;
+      Status ss =
+          store_->partition(static_cast<PartitionId>(p)).SnapshotInto(&pi);
+      // A cold page that cannot be read back verified poisons the whole
+      // image; the previous checkpoint stays in force.
+      if (!ss.ok()) return ss;
+      img.images.push_back(std::move(pi));
     }
     img.lsn = log_->last_lsn();
     img.persistent_root = store_->persistent_root();
@@ -142,6 +187,12 @@ void Database::SimulateCrash() {
     // whatever generation actually got published.
     disk_log_->CrashClose();
     checkpoint_ = CheckpointImage();
+  }
+  if (pool_ != nullptr) {
+    // The frame cache dies with the process: scramble every materialized
+    // page and distrust the data file. Recover()'s Restore repopulates
+    // the arenas from the checkpoint image + WAL redo.
+    pool_->SimulateCrashLoseFrames(options_.num_data_partitions + 1);
   }
   // Grace periods are volatile state: every reader thread died with the
   // crash, so all pending retirements drain now. Recovery then works on

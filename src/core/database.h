@@ -16,6 +16,8 @@
 #include "core/pqr.h"
 #include "core/relocation.h"
 #include "core/trt.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
 #include "storage/object_store.h"
 #include "txn/lock_manager.h"
 #include "txn/transaction_manager.h"
@@ -80,6 +82,21 @@ struct DatabaseOptions {
   std::string wal_dir;
   uint64_t wal_segment_bytes = kWalSegmentBytes;
   FsyncMode fsync_mode = FsyncMode::kFull;
+
+  // Data backing (DESIGN.md §13). kMemory keeps every arena page
+  // permanently materialized — the seed's model and the fast default.
+  // kDisk bounds residency to buffer_pool_frames frames of
+  // data_page_size bytes and spills the rest to a data file under
+  // data_dir, making reorg's clustering I/O win (fewer page fetches per
+  // traversal, paper Section 5/Figure 6) measurable against real page
+  // traffic. Orthogonal to `durability`: the data file is an
+  // operational cache, not a recovery source. partition_capacity must
+  // be a multiple of data_page_size (a power of two); check
+  // data_status() after construction.
+  DataBacking data_backing = DataBacking::kMemory;
+  std::string data_dir;
+  uint64_t data_page_size = kDataPageSize;
+  uint64_t buffer_pool_frames = kBufferPoolFrames;
 
   // If > 0, retained log records are trimmed whenever their count exceeds
   // this threshold, keeping everything still needed for active-transaction
@@ -147,6 +164,15 @@ class Database {
   // fault): the database falls back to in-memory logging.
   const Status& durability_status() const { return durability_status_; }
 
+  // Non-OK when kDisk data backing could not be set up (bad geometry,
+  // missing data_dir, data file open fault): the database falls back to
+  // fully in-memory arenas, mirroring durability_status().
+  const Status& data_status() const { return data_status_; }
+
+  // Null unless data_backing == kDisk initialized successfully.
+  BufferPool* buffer_pool() { return pool_.get(); }
+  DiskManager* disk_data() { return disk_data_.get(); }
+
   // Crash simulation: all client threads must be stopped. Drops every
   // record not flushed to the stable log and all volatile state (locks,
   // active transactions, TRT, analyzer cursor — and, in kDisk mode, the
@@ -192,6 +218,13 @@ class Database {
   uint64_t ckpt_generation_ = 0;
   Status durability_status_;
   ScrubReport scrub_;
+
+  // Disk data backing (DESIGN.md §13): null in kMemory mode. Destroyed
+  // before store_ and epoch_; ~Database drains the epoch manager while
+  // the pool is still alive, so no release callback outlives it.
+  std::unique_ptr<DiskManager> disk_data_;
+  std::unique_ptr<BufferPool> pool_;
+  Status data_status_;
 };
 
 }  // namespace brahma

@@ -5,6 +5,10 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/epoch.h"
+#include "storage/buffer_pool.h"
+#include "storage/object_store.h"
+
 namespace brahma {
 
 namespace {
@@ -19,8 +23,11 @@ std::unordered_map<ObjectId, std::vector<ObjectId>> ParentsByChild(
   }
   std::unordered_map<ObjectId, std::vector<ObjectId>> out;
   for (auto& [child, parents] : sets) {
-    out.emplace(child,
-                std::vector<ObjectId>(parents.begin(), parents.end()));
+    std::vector<ObjectId> sorted(parents.begin(), parents.end());
+    // Deterministic touch order: the simulated and the real-pool replay
+    // must walk each child's parents identically to be comparable.
+    std::sort(sorted.begin(), sorted.end());
+    out.emplace(child, std::move(sorted));
   }
   return out;
 }
@@ -81,6 +88,32 @@ uint64_t CountExternalLockAcquisitions(
     held = std::move(now);
   }
   return acquisitions;
+}
+
+uint64_t MeasureExternalParentFetches(
+    ObjectStore* store, const std::vector<ObjectId>& order,
+    const std::vector<std::pair<ObjectId, ObjectId>>& ert_entries) {
+  BufferPool* pool = store->buffer_pool();
+  if (pool == nullptr) return 0;
+  auto parents_of = ParentsByChild(ert_entries);
+  const uint64_t misses_before = pool->pool_misses();
+  // One guard for the whole replay, like a migration worker's would be:
+  // Get -> TouchForRead drives real EnsureRange traffic into the pool.
+  EpochGuard guard(pool->epoch_manager());
+  for (ObjectId oid : order) {
+    auto it = parents_of.find(oid);
+    if (it == parents_of.end()) continue;
+    for (ObjectId parent : it->second) {
+      (void)store->Get(parent);
+    }
+  }
+  return pool->pool_misses() - misses_before;
+}
+
+uint64_t IoAwarePlanner::MeasureOrderCost(
+    const std::vector<ObjectId>& order) const {
+  if (store_ == nullptr) return 0;
+  return MeasureExternalParentFetches(store_, order, ert_->Entries());
 }
 
 void IoAwarePlanner::Order(std::vector<ObjectId>* objects) {

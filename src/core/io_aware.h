@@ -10,6 +10,8 @@
 
 namespace brahma {
 
+class ObjectStore;
+
 // The paper's future work (Section 7): "An object external to the
 // partition being reorganized may have to be fetched multiple times as it
 // may be the parent of multiple objects in the partition. A natural
@@ -39,6 +41,18 @@ uint64_t CountExternalLockAcquisitions(
     const std::vector<ObjectId>& order,
     const std::vector<std::pair<ObjectId, ObjectId>>& ert_entries);
 
+// Real-pool-counter mode of the cost model: replays `order`'s external
+// parent touches against the store's actual disk-backed frame pool
+// (DESIGN.md §13) and returns the page misses really paid, the ground
+// truth the simulated LRU model above approximates. Returns 0 when the
+// store has no buffer pool attached (fully in-memory arenas never
+// miss). The replay perturbs pool residency; call
+// BufferPool::FlushAll() between measurements that should not see each
+// other's cache state.
+uint64_t MeasureExternalParentFetches(
+    ObjectStore* store, const std::vector<ObjectId>& order,
+    const std::vector<std::pair<ObjectId, ObjectId>>& ert_entries);
+
 // Orders migrations by external parent: parents are processed in
 // descending fan-in, and each parent's children migrate consecutively;
 // objects without external parents follow in address order. Target (and
@@ -55,9 +69,15 @@ class IoAwarePlanner : public RelocationPlanner {
   }
   void Order(std::vector<ObjectId>* objects) override;
 
+  // Opts into real-pool-counter mode: MeasureOrderCost then replays an
+  // order against store's frame pool instead of the simulated buffer.
+  void set_store(ObjectStore* store) { store_ = store; }
+  uint64_t MeasureOrderCost(const std::vector<ObjectId>& order) const;
+
  private:
   RelocationPlanner* base_;
   const Ert* ert_;
+  ObjectStore* store_ = nullptr;
 };
 
 }  // namespace brahma

@@ -13,6 +13,7 @@
 #include "common/file_util.h"
 #include "core/fuzzy_traversal.h"
 #include "core/migration_pipe.h"
+#include "storage/buffer_pool.h"
 
 namespace brahma {
 
@@ -65,6 +66,11 @@ Status IraReorganizer::Run(PartitionId p, RelocationPlanner* planner,
       ctx_.epoch != nullptr ? ctx_.epoch->retire_drains() : 0;
   const uint64_t lf_before =
       ctx_.epoch != nullptr ? ctx_.epoch->latchfree_reads() : 0;
+  BufferPool* pool = ctx_.store->buffer_pool();
+  const uint64_t ph_before = pool != nullptr ? pool->pool_hits() : 0;
+  const uint64_t pm_before = pool != nullptr ? pool->pool_misses() : 0;
+  const uint64_t fe_before = pool != nullptr ? pool->frames_evicted() : 0;
+  const uint64_t dw_before = pool != nullptr ? pool->dirty_writebacks() : 0;
   const DeadlockPolicy saved_policy = ctx_.locks->deadlock_policy();
   if (options.wait_die) {
     ctx_.locks->set_deadlock_policy(DeadlockPolicy::kWaitDie);
@@ -142,6 +148,14 @@ Status IraReorganizer::Run(PartitionId p, RelocationPlanner* planner,
     stats->retire_drains += ctx_.epoch->retire_drains() - rd_before;
     stats->latchfree_reads += ctx_.epoch->latchfree_reads() - lf_before;
   }
+  if (pool != nullptr) {
+    // Frame-pool deltas (DESIGN.md §13), like the group-commit ones:
+    // page traffic any thread generated while this run overlapped it.
+    stats->pool_hits += pool->pool_hits() - ph_before;
+    stats->pool_misses += pool->pool_misses() - pm_before;
+    stats->frames_evicted += pool->frames_evicted() - fe_before;
+    stats->dirty_writebacks += pool->dirty_writebacks() - dw_before;
+  }
   return result;
 }
 
@@ -172,6 +186,11 @@ Status IraReorganizer::Resume(const ReorgCheckpoint& checkpoint,
       ctx_.epoch != nullptr ? ctx_.epoch->retire_drains() : 0;
   const uint64_t lf_before =
       ctx_.epoch != nullptr ? ctx_.epoch->latchfree_reads() : 0;
+  BufferPool* pool = ctx_.store->buffer_pool();
+  const uint64_t ph_before = pool != nullptr ? pool->pool_hits() : 0;
+  const uint64_t pm_before = pool != nullptr ? pool->pool_misses() : 0;
+  const uint64_t fe_before = pool != nullptr ? pool->frames_evicted() : 0;
+  const uint64_t dw_before = pool != nullptr ? pool->dirty_writebacks() : 0;
   const DeadlockPolicy saved_policy = ctx_.locks->deadlock_policy();
   if (options.wait_die) {
     ctx_.locks->set_deadlock_policy(DeadlockPolicy::kWaitDie);
@@ -276,6 +295,12 @@ Status IraReorganizer::Resume(const ReorgCheckpoint& checkpoint,
     stats->epoch_advances += ctx_.epoch->epochs_advanced() - ea_before;
     stats->retire_drains += ctx_.epoch->retire_drains() - rd_before;
     stats->latchfree_reads += ctx_.epoch->latchfree_reads() - lf_before;
+  }
+  if (pool != nullptr) {
+    stats->pool_hits += pool->pool_hits() - ph_before;
+    stats->pool_misses += pool->pool_misses() - pm_before;
+    stats->frames_evicted += pool->frames_evicted() - fe_before;
+    stats->dirty_writebacks += pool->dirty_writebacks() - dw_before;
   }
   return result;
 }

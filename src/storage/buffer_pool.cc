@@ -1,0 +1,399 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+#ifdef __linux__
+#include <sys/mman.h>
+#endif
+
+#include "common/epoch.h"
+#include "common/file_util.h"
+
+namespace brahma {
+
+BufferPool::BufferPool(const Options& options, DiskManager* disk,
+                       EpochManager* epoch)
+    : opts_(options), disk_(disk), epoch_(epoch) {}
+
+void BufferPool::RegisterPartition(PartitionId pid, uint8_t* base,
+                                   uint64_t capacity) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (parts_.size() <= pid) parts_.resize(pid + 1);
+  Part part;
+  part.base = base;
+  part.pages = capacity / opts_.page_size;
+  part.first = pages_.size();
+  parts_[pid] = part;
+  for (uint64_t i = 0; i < part.pages; ++i) {
+    pages_.emplace_back();
+    pages_.back().bytes = base + i * opts_.page_size;
+  }
+}
+
+Status BufferPool::EnsureRange(PartitionId pid, uint64_t offset,
+                               uint64_t len) {
+  if (len == 0) return Status::Ok();
+  const Part& part = parts_[pid];
+  uint64_t first = part.first + offset / opts_.page_size;
+  uint64_t last = part.first + (offset + len - 1) / opts_.page_size;
+  last = std::min(last, part.first + part.pages - 1);
+
+  bool all_resident = true;
+  for (uint64_t gp = first; gp <= last; ++gp) {
+    PageMeta& m = pages_[gp];
+    if (m.state.load(std::memory_order_seq_cst) == kResident) {
+      m.ref.store(1, std::memory_order_relaxed);
+    } else {
+      all_resident = false;
+      break;
+    }
+  }
+  if (all_resident) {
+    hits_.fetch_add(last - first + 1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+
+  std::lock_guard<std::mutex> g(mu_);
+  for (uint64_t gp = first; gp <= last; ++gp) {
+    Status s = MakeResidentLocked(gp);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::PinRangeForWrite(PartitionId pid, uint64_t offset,
+                                    uint64_t len) {
+  if (len == 0) return Status::Ok();
+  const Part& part = parts_[pid];
+  uint64_t first = part.first + offset / opts_.page_size;
+  uint64_t last = part.first + (offset + len - 1) / opts_.page_size;
+  last = std::min(last, part.first + part.pages - 1);
+
+  // Fast path: pin-then-check on every page (the Dekker handshake with
+  // EvictPageLocked — see the class comment). Any non-resident page
+  // sends the whole range to the slow path.
+  uint64_t gp = first;
+  for (; gp <= last; ++gp) {
+    PageMeta& m = pages_[gp];
+    m.pins.fetch_add(1, std::memory_order_seq_cst);
+    if (m.state.load(std::memory_order_seq_cst) != kResident) {
+      m.pins.fetch_sub(1, std::memory_order_seq_cst);
+      break;
+    }
+    m.dirty.store(true, std::memory_order_seq_cst);
+    m.ref.store(1, std::memory_order_relaxed);
+  }
+  if (gp > last) {
+    hits_.fetch_add(last - first + 1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  for (uint64_t undo = first; undo < gp; ++undo) {
+    pages_[undo].pins.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  std::lock_guard<std::mutex> g(mu_);
+  for (gp = first; gp <= last; ++gp) {
+    Status s = MakeResidentLocked(gp);
+    if (!s.ok()) {
+      for (uint64_t undo = first; undo < gp; ++undo) {
+        pages_[undo].pins.fetch_sub(1, std::memory_order_seq_cst);
+      }
+      return s;
+    }
+    // Pinning under mu_ needs no re-check: state transitions are
+    // serialized by mu_, and MakeResidentLocked just left it Resident.
+    pages_[gp].pins.fetch_add(1, std::memory_order_seq_cst);
+    pages_[gp].dirty.store(true, std::memory_order_seq_cst);
+  }
+  return Status::Ok();
+}
+
+void BufferPool::UnpinRange(PartitionId pid, uint64_t offset, uint64_t len) {
+  if (len == 0) return;
+  const Part& part = parts_[pid];
+  uint64_t first = part.first + offset / opts_.page_size;
+  uint64_t last = part.first + (offset + len - 1) / opts_.page_size;
+  last = std::min(last, part.first + part.pages - 1);
+  for (uint64_t gp = first; gp <= last; ++gp) {
+    pages_[gp].pins.fetch_sub(1, std::memory_order_seq_cst);
+  }
+}
+
+Status BufferPool::MakeResidentLocked(uint64_t gp) {
+  PageMeta& m = pages_[gp];
+  switch (m.state.load(std::memory_order_relaxed)) {
+    case kResident:
+      m.ref.store(1, std::memory_order_relaxed);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Ok();
+    case kWarm:
+      // Rescue: the bytes never left memory. Bumping seq makes the
+      // queued Warm -> Cold release a no-op.
+      ++m.seq;
+      m.state.store(kResident, std::memory_order_seq_cst);
+      m.ref.store(1, std::memory_order_relaxed);
+      ++resident_;
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      rescues_.fetch_add(1, std::memory_order_relaxed);
+      return EvictToBudgetLocked();
+    case kCold:
+    default: {
+      uint8_t* p = m.bytes;
+      if (m.on_disk) {
+        Status s = disk_->ReadPage(gp, p);
+        if (!s.ok()) return s;
+        if (Crc32c(p, opts_.page_size) != m.crc) {
+          crc_failures_.fetch_add(1, std::memory_order_relaxed);
+          return Status::Corrupted("data page CRC mismatch on fetch");
+        }
+      }
+      // Never written back: the memory already holds the page's truth
+      // (all zeros — registration state or a release's zero fill).
+      ++m.seq;
+      m.dirty.store(false, std::memory_order_relaxed);
+      m.state.store(kResident, std::memory_order_seq_cst);
+      m.ref.store(1, std::memory_order_relaxed);
+      ++resident_;
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return EvictToBudgetLocked();
+    }
+  }
+}
+
+Status BufferPool::EvictToBudgetLocked() {
+  const uint64_t total = pages_.size();
+  while (resident_ > opts_.frames) {
+    bool evicted_one = false;
+    // Two laps: the first may only clear reference bits; pinned pages
+    // are skipped outright. If a full sweep finds no victim (everything
+    // pinned, or writeback failing), overshoot the budget gracefully
+    // rather than spin — correctness never depends on the budget.
+    for (uint64_t scanned = 0; scanned < 2 * total; ++scanned) {
+      uint64_t gp = clock_hand_;
+      clock_hand_ = (clock_hand_ + 1) % total;
+      PageMeta& m = pages_[gp];
+      if (m.state.load(std::memory_order_relaxed) != kResident) continue;
+      if (m.pins.load(std::memory_order_seq_cst) != 0) continue;
+      if (m.ref.load(std::memory_order_relaxed) != 0) {
+        m.ref.store(0, std::memory_order_relaxed);
+        continue;
+      }
+      if (EvictPageLocked(gp).ok()) {
+        evicted_one = true;
+        break;
+      }
+    }
+    if (!evicted_one) break;
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::EvictPageLocked(uint64_t gp) {
+  PageMeta& m = pages_[gp];
+  m.state.store(kWarm, std::memory_order_seq_cst);
+  if (m.pins.load(std::memory_order_seq_cst) != 0) {
+    // Lost the handshake: a writer pinned before it saw Warm.
+    m.state.store(kResident, std::memory_order_seq_cst);
+    return Status::Busy();
+  }
+  // Dirty pages are NOT written back here: readers that resolved a
+  // pointer before the eviction may still be touching per-object latch
+  // words in these bytes, so a pwrite/CRC snapshot taken now could
+  // capture a mid-acquire latch (stuck forever after a cold refetch)
+  // and would race those atomics. The writeback runs in
+  // RunReleaseIfCurrent, after the epoch grace period proves the page
+  // quiescent; until then the Warm bytes remain the only copy.
+  ++m.seq;
+  --resident_;
+  evicted_.fetch_add(1, std::memory_order_relaxed);
+  QueueReleaseLocked(gp);
+  return Status::Ok();
+}
+
+Status BufferPool::WritebackLocked(uint64_t gp) {
+  PageMeta& m = pages_[gp];
+  Status s = disk_->WritePage(gp, m.bytes);
+  if (!s.ok()) return s;
+  m.crc = Crc32c(m.bytes, opts_.page_size);
+  m.on_disk = true;
+  writebacks_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void BufferPool::ReleaseMemory(uint8_t* p) {
+#ifdef __linux__
+  if (opts_.page_size % 4096 == 0 &&
+      reinterpret_cast<uintptr_t>(p) % 4096 == 0) {
+    if (madvise(p, opts_.page_size, MADV_DONTNEED) == 0) return;
+  }
+#endif
+  std::memset(p, 0, opts_.page_size);
+}
+
+void BufferPool::QueueReleaseLocked(uint64_t gp) {
+  pending_retire_.push_back({gp, pages_[gp].seq});
+  pending_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BufferPool::RunReleaseIfCurrent(uint64_t gp, uint32_t seq) {
+  std::lock_guard<std::mutex> g(mu_);
+  PageMeta& m = pages_[gp];
+  if (m.state.load(std::memory_order_relaxed) != kWarm || m.seq != seq) {
+    return;  // rescued or re-evicted since; the newer episode owns it
+  }
+  if (m.pins.load(std::memory_order_seq_cst) != 0) {
+    return;  // a write prober is mid-handshake; it will rescue the page
+  }
+  // The grace period has elapsed: every reader that could hold a
+  // pointer (or a per-object latch) into this page has exited, and any
+  // later reader rescues under mu_ before dereferencing — so the bytes
+  // are quiescent and the pwrite + CRC snapshot is consistent.
+  if (m.dirty.load(std::memory_order_seq_cst)) {
+    Status s = WritebackLocked(gp);
+    if (!s.ok()) {
+      // Cannot lose the only copy: rescue the page back into the
+      // budget (overshooting gracefully) and retry on a later evict.
+      ++m.seq;
+      m.state.store(kResident, std::memory_order_seq_cst);
+      ++resident_;
+      return;
+    }
+    m.dirty.store(false, std::memory_order_relaxed);
+  }
+  ReleaseMemory(m.bytes);
+  m.state.store(kCold, std::memory_order_seq_cst);
+}
+
+void BufferPool::FlushRetirements() {
+  std::vector<PendingRelease> batch;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    batch.swap(pending_retire_);
+    pending_count_.store(0, std::memory_order_relaxed);
+  }
+  for (const PendingRelease& pr : batch) {
+    if (epoch_ != nullptr) {
+      epoch_->Retire([this, pr] { RunReleaseIfCurrent(pr.gp, pr.seq); });
+    } else {
+      RunReleaseIfCurrent(pr.gp, pr.seq);
+    }
+  }
+}
+
+Status BufferPool::ReadRangeBypass(PartitionId pid, uint64_t offset,
+                                   uint64_t len, uint8_t* dest) {
+  if (len == 0) return Status::Ok();
+  const Part& part = parts_[pid];
+  std::vector<uint8_t> scratch;
+  std::lock_guard<std::mutex> g(mu_);
+  uint64_t pos = offset;
+  const uint64_t end = offset + len;
+  while (pos < end) {
+    uint64_t gp = part.first + pos / opts_.page_size;
+    uint64_t page_start = (pos / opts_.page_size) * opts_.page_size;
+    uint64_t chunk = std::min(end, page_start + opts_.page_size) - pos;
+    PageMeta& m = pages_[gp];
+    if (m.state.load(std::memory_order_relaxed) != kCold) {
+      std::memcpy(dest + (pos - offset), m.bytes, chunk);
+    } else if (m.on_disk) {
+      if (scratch.empty()) scratch.resize(opts_.page_size);
+      Status s = disk_->ReadPage(gp, scratch.data());
+      if (!s.ok()) return s;
+      if (Crc32c(scratch.data(), opts_.page_size) != m.crc) {
+        crc_failures_.fetch_add(1, std::memory_order_relaxed);
+        return Status::Corrupted("data page CRC mismatch on snapshot");
+      }
+      std::memcpy(dest + (pos - offset),
+                  scratch.data() + (pos - page_start), chunk);
+    } else {
+      std::memset(dest + (pos - offset), 0, chunk);
+    }
+    pos += chunk;
+  }
+  return Status::Ok();
+}
+
+void BufferPool::BeginRestore(PartitionId pid) {
+  std::lock_guard<std::mutex> g(mu_);
+  const Part& part = parts_[pid];
+  for (uint64_t i = 0; i < part.pages; ++i) {
+    PageMeta& m = pages_[part.first + i];
+    // The restore rewrites the whole arena; whatever is on disk or in
+    // memory is about to be overwritten, so no fetch — just make the
+    // page writable and pinned for the duration.
+    uint32_t st = m.state.load(std::memory_order_relaxed);
+    if (st != kResident) {
+      ++m.seq;
+      m.state.store(kResident, std::memory_order_seq_cst);
+      ++resident_;
+    }
+    m.pins.fetch_add(1, std::memory_order_seq_cst);
+    m.dirty.store(true, std::memory_order_seq_cst);
+    m.ref.store(1, std::memory_order_relaxed);
+  }
+}
+
+Status BufferPool::EndRestore(PartitionId pid, uint64_t live_bytes) {
+  std::lock_guard<std::mutex> g(mu_);
+  const Part& part = parts_[pid];
+  const uint64_t live_pages =
+      (live_bytes + opts_.page_size - 1) / opts_.page_size;
+  for (uint64_t i = 0; i < part.pages; ++i) {
+    PageMeta& m = pages_[part.first + i];
+    m.pins.fetch_sub(1, std::memory_order_seq_cst);
+    if (i >= live_pages) {
+      // Beyond the restored high-water mark the arena is all zeros; the
+      // data file's stale content must never be believed again.
+      ++m.seq;
+      m.dirty.store(false, std::memory_order_relaxed);
+      m.on_disk = false;
+      ReleaseMemory(m.bytes);
+      m.state.store(kCold, std::memory_order_seq_cst);
+      --resident_;
+    }
+  }
+  return EvictToBudgetLocked();
+}
+
+void BufferPool::SimulateCrashLoseFrames(uint64_t seed) {
+  (void)seed;
+  std::lock_guard<std::mutex> g(mu_);
+  for (PageMeta& m : pages_) {
+    uint32_t st = m.state.load(std::memory_order_relaxed);
+    if (st != kCold) {
+      // The frame cache dies with the process: materialized bytes are
+      // gone (zeroed), and the data file may hold torn writebacks — so
+      // neither copy is trusted. Recovery restores from checkpoint +
+      // WAL redo and re-dirties every restored page.
+      ReleaseMemory(m.bytes);
+      if (st == kResident) --resident_;
+      ++m.seq;
+      m.state.store(kCold, std::memory_order_seq_cst);
+    }
+    m.pins.store(0, std::memory_order_seq_cst);
+    m.dirty.store(false, std::memory_order_relaxed);
+    m.on_disk = false;
+  }
+  pending_retire_.clear();
+  pending_count_.store(0, std::memory_order_relaxed);
+}
+
+Status BufferPool::FlushAll() {
+  Status first_err = Status::Ok();
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    for (uint64_t gp = 0; gp < pages_.size(); ++gp) {
+      PageMeta& m = pages_[gp];
+      if (m.state.load(std::memory_order_relaxed) != kResident) continue;
+      if (m.pins.load(std::memory_order_seq_cst) != 0) continue;
+      Status s = EvictPageLocked(gp);
+      if (!s.ok() && !s.IsBusy() && first_err.ok()) first_err = s;
+    }
+  }
+  FlushRetirements();
+  if (epoch_ != nullptr) epoch_->AdvanceAndDrain();
+  return first_err;
+}
+
+}  // namespace brahma

@@ -1,6 +1,9 @@
 #include "storage/object_store.h"
 
+#include <algorithm>
+
 #include "common/epoch.h"
+#include "storage/buffer_pool.h"
 
 namespace brahma {
 
@@ -58,6 +61,46 @@ Status ObjectStore::RetireObject(ObjectId id) {
   return Status::Ok();
 }
 
+void ObjectStore::AttachBufferPool(BufferPool* pool) {
+  pool_ = pool;
+  for (auto& part : partitions_) {
+    part->AttachBufferPool(pool);
+  }
+}
+
+ObjectStore::GuardForWrite::GuardForWrite(ObjectStore* store, ObjectId id) {
+  BufferPool* pool = store->buffer_pool();
+  if (pool == nullptr) return;
+  if (!id.valid() || id.partition() >= store->num_partitions()) return;
+  Partition& part = store->partition(id.partition());
+  const uint64_t off = id.offset();
+  // Guard the block-size probe (same discipline as TouchForRead); the
+  // pin below then protects the caller's writes without any guard.
+  EpochGuard eg(pool->epoch_manager());
+  if (!pool->EnsureRange(id.partition(), off, sizeof(ObjectHeader)).ok()) {
+    ok_ = false;
+    return;
+  }
+  const ObjectHeader* h = part.HeaderAt(off);
+  if (h == nullptr) return;  // out of range; the caller's Get fails too
+  uint64_t len = sizeof(ObjectHeader);
+  if (h->IsLive()) {
+    len = std::min<uint64_t>(h->block_size, part.capacity() - off);
+  }
+  if (!pool->PinRangeForWrite(id.partition(), off, len).ok()) {
+    ok_ = false;
+    return;
+  }
+  pool_ = pool;
+  pid_ = id.partition();
+  offset_ = off;
+  len_ = len;
+}
+
+ObjectStore::GuardForWrite::~GuardForWrite() {
+  if (pool_ != nullptr) pool_->UnpinRange(pid_, offset_, len_);
+}
+
 void ObjectStore::PublishRelocation(ObjectId from, ObjectId to) {
   std::lock_guard<std::mutex> g(reloc_mu_);
   relocations_[from] = to;
@@ -83,14 +126,27 @@ size_t ObjectStore::RelocationTableSize() const {
 
 ObjectHeader* ObjectStore::Get(ObjectId id) {
   if (!id.valid() || id.partition() >= partitions_.size()) return nullptr;
-  ObjectHeader* h = partitions_[id.partition()]->HeaderAt(id.offset());
+  Partition* part = partitions_[id.partition()].get();
+  part->TouchForRead(id.offset());
+  // Get is the one hot path guaranteed to run lock-free, so it is where
+  // queued Warm->Cold frame releases get handed to the epoch manager
+  // (they cannot be queued from under the pool/partition mutexes).
+  if (pool_ != nullptr && pool_->has_pending_retirements()) {
+    pool_->FlushRetirements();
+  }
+  ObjectHeader* h = part->HeaderAt(id.offset());
   if (h == nullptr || !h->IsLive() || h->self != id.raw()) return nullptr;
   return h;
 }
 
 const ObjectHeader* ObjectStore::Get(ObjectId id) const {
   if (!id.valid() || id.partition() >= partitions_.size()) return nullptr;
-  const ObjectHeader* h = partitions_[id.partition()]->HeaderAt(id.offset());
+  const Partition* part = partitions_[id.partition()].get();
+  part->TouchForRead(id.offset());
+  if (pool_ != nullptr && pool_->has_pending_retirements()) {
+    pool_->FlushRetirements();
+  }
+  const ObjectHeader* h = part->HeaderAt(id.offset());
   if (h == nullptr || !h->IsLive() || h->self != id.raw()) return nullptr;
   return h;
 }

@@ -13,6 +13,7 @@
 
 namespace brahma {
 
+class BufferPool;
 class EpochManager;
 
 // The collection of partitions making up the database. Partition 0 is the
@@ -54,6 +55,33 @@ class ObjectStore {
   void set_epoch_manager(EpochManager* epoch) { epoch_ = epoch; }
   EpochManager* epoch_manager() const { return epoch_; }
 
+  // Wires the disk-backed frame pool in (DESIGN.md §13): registers every
+  // partition's arena with the pool and routes reads/writes through it.
+  // Not owned; call once, before any traffic.
+  void AttachBufferPool(BufferPool* pool);
+  BufferPool* buffer_pool() const { return pool_; }
+
+  // RAII write pin over a live object's whole block: ensures residency
+  // and blocks eviction/writeback while the caller mutates the object's
+  // bytes through a previously obtained header pointer. No-op (and ok)
+  // without a pool. Mutation sites (transaction apply, undo, redo) hold
+  // one across every arena write.
+  class GuardForWrite {
+   public:
+    GuardForWrite(ObjectStore* store, ObjectId id);
+    ~GuardForWrite();
+    GuardForWrite(const GuardForWrite&) = delete;
+    GuardForWrite& operator=(const GuardForWrite&) = delete;
+    bool ok() const { return ok_; }
+
+   private:
+    BufferPool* pool_ = nullptr;
+    PartitionId pid_ = 0;
+    uint64_t offset_ = 0;
+    uint64_t len_ = 0;
+    bool ok_ = true;
+  };
+
   // --- store-level relocation table (latch-free read path) ---------------
   // Migration publishes old -> new here (after the new copy is fully
   // initialized and WAL-logged) so that latch-free readers holding a stale
@@ -83,6 +111,7 @@ class ObjectStore {
   std::vector<std::unique_ptr<Partition>> partitions_;
   ObjectId persistent_root_;
   EpochManager* epoch_ = nullptr;
+  BufferPool* pool_ = nullptr;
 
   mutable std::mutex reloc_mu_;
   std::unordered_map<ObjectId, ObjectId> relocations_;

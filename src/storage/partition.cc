@@ -1,12 +1,56 @@
 #include "storage/partition.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <new>
 
+#include "common/epoch.h"
+#include "storage/buffer_pool.h"
+
 namespace brahma {
 
+namespace {
+constexpr uint64_t kArenaAlign = 4096;
+}  // namespace
+
 Partition::Partition(PartitionId id, uint64_t capacity)
-    : id_(id), capacity_(capacity), arena_(new uint8_t[capacity]()) {}
+    : id_(id), capacity_(capacity) {
+  // Page-aligned so the buffer pool can hand whole frames back to the
+  // kernel (madvise needs system-page-aligned, -sized ranges).
+  const uint64_t alloc = (capacity + kArenaAlign - 1) & ~(kArenaAlign - 1);
+  arena_ = static_cast<uint8_t*>(std::aligned_alloc(kArenaAlign, alloc));
+  std::memset(arena_, 0, alloc);
+}
+
+Partition::~Partition() { std::free(arena_); }
+
+void Partition::AttachBufferPool(BufferPool* pool) {
+  pool_ = pool;
+  if (pool_ != nullptr) {
+    // Database validates capacity % page_size == 0 before attaching.
+    pool_->RegisterPartition(id_, arena_, capacity_);
+  }
+}
+
+void Partition::TouchForRead(uint64_t offset) const {
+  if (pool_ == nullptr) return;
+  if (offset < kBaseOffset || offset + sizeof(ObjectHeader) > capacity_) {
+    return;
+  }
+  // The guard covers this function's own probe of the header; it must be
+  // entered before EnsureRange so any eviction that follows it queues a
+  // release behind us. Callers hold their own guard for their own reads.
+  EpochGuard eg(pool_->epoch_manager());
+  if (!pool_->EnsureRange(id_, offset, sizeof(ObjectHeader)).ok()) return;
+  const ObjectHeader* h =
+      reinterpret_cast<const ObjectHeader*>(arena_ + offset);
+  if (!h->IsLive()) return;  // non-live: Get will bail on the header alone
+  const uint64_t block = h->block_size;
+  if (block > sizeof(ObjectHeader)) {
+    pool_->EnsureRange(id_, offset, std::min(block, capacity_ - offset));
+  }
+}
 
 Status Partition::Allocate(uint32_t num_refs, uint32_t data_size,
                            uint64_t* offset) {
@@ -23,7 +67,11 @@ Status Partition::Allocate(uint32_t num_refs, uint32_t data_size,
         // object — in which case we still track it (it can coalesce later).
         free_list_.emplace(off + block, hole - block);
       }
-      InitializeObject(off, num_refs, data_size);
+      Status s = InitializeObject(off, num_refs, data_size);
+      if (!s.ok()) {
+        FreeRangeLocked(off, block);  // undo the carve
+        return s;
+      }
       *offset = off;
       return Status::Ok();
     }
@@ -34,7 +82,11 @@ Status Partition::Allocate(uint32_t num_refs, uint32_t data_size,
   }
   uint64_t off = high_water_;
   high_water_ += block;
-  InitializeObject(off, num_refs, data_size);
+  Status s = InitializeObject(off, num_refs, data_size);
+  if (!s.ok()) {
+    FreeRangeLocked(off, block);
+    return s;
+  }
   *offset = off;
   return Status::Ok();
 }
@@ -52,8 +104,13 @@ Status Partition::AllocateAt(uint64_t offset, uint32_t num_refs,
     // AllocateLocked cannot carve it. Re-initialize in place; the stale
     // retirement sequence then makes the pending ReleaseRetired a no-op.
     ObjectHeader* h = HeaderAt(offset);
-    if (h == nullptr || offset + block > high_water_ ||
-        h->magic != ObjectHeader::kFreeMagic || h->block_size != block) {
+    if (h == nullptr || offset + block > high_water_) return s;
+    EpochGuard eg(pool_ != nullptr ? pool_->epoch_manager() : nullptr);
+    if (pool_ != nullptr) {
+      Status es = pool_->EnsureRange(id_, offset, sizeof(ObjectHeader));
+      if (!es.ok()) return es;
+    }
+    if (h->magic != ObjectHeader::kFreeMagic || h->block_size != block) {
       return s;
     }
     auto hole = free_list_.upper_bound(offset);
@@ -63,8 +120,9 @@ Status Partition::AllocateAt(uint64_t offset, uint32_t num_refs,
     }
     resurrect = true;
   }
-  InitializeObject(offset, num_refs, data_size, resurrect);
-  return Status::Ok();
+  Status is = InitializeObject(offset, num_refs, data_size, resurrect);
+  if (!is.ok() && !resurrect) FreeRangeLocked(offset, block);
+  return is;
 }
 
 // Carves [offset, offset+block) out of free space (a hole or virgin space
@@ -97,9 +155,16 @@ Status Partition::AllocateLocked(uint64_t offset, uint32_t block) {
   return Status::Ok();
 }
 
-void Partition::InitializeObject(uint64_t offset, uint32_t num_refs,
-                                 uint32_t data_size, bool resurrect) {
-  ObjectHeader* h = reinterpret_cast<ObjectHeader*>(arena_.get() + offset);
+Status Partition::InitializeObject(uint64_t offset, uint32_t num_refs,
+                                   uint32_t data_size, bool resurrect) {
+  const uint32_t block = ObjectHeader::BlockSize(num_refs, data_size);
+  // Pin the whole block: the pool must neither write back a torn image
+  // of it nor release its pages out from under the writes below.
+  if (pool_ != nullptr) {
+    Status s = pool_->PinRangeForWrite(id_, offset, block);
+    if (!s.ok()) return s;
+  }
+  ObjectHeader* h = reinterpret_cast<ObjectHeader*>(arena_ + offset);
   // Publish protocol (DESIGN.md §11): the magic word is stored atomically
   // and is the LAST field written, with release ordering, so a latch-free
   // reader that loads kLiveMagic (acquire) also observes every other
@@ -115,7 +180,7 @@ void Partition::InitializeObject(uint64_t offset, uint32_t num_refs,
     // reader may concurrently acquire it to observe the poison, so it must
     // not be re-constructed; instead the rewrite is fenced by it.
     ExclusiveLatchGuard lg(&h->latch);
-    h->block_size = ObjectHeader::BlockSize(num_refs, data_size);
+    h->block_size = block;
     h->num_refs = num_refs;
     h->data_size = data_size;
     h->self = ObjectId(id_, offset).raw();
@@ -124,36 +189,52 @@ void Partition::InitializeObject(uint64_t offset, uint32_t num_refs,
     std::memset(h->data(), 0, data_size);
     h->StoreMagic(ObjectHeader::kLiveMagic);
   }
+  if (pool_ != nullptr) pool_->UnpinRange(id_, offset, block);
+  return Status::Ok();
 }
 
 Status Partition::Free(uint64_t offset) {
   std::lock_guard<std::mutex> g(mu_);
   ObjectHeader* h = HeaderAt(offset);
-  if (h == nullptr || !h->IsLive()) {
-    return Status::Corruption("Free of non-live block");
+  if (h == nullptr) return Status::Corruption("Free of non-live block");
+  if (pool_ != nullptr) {
+    Status s = pool_->PinRangeForWrite(id_, offset, sizeof(ObjectHeader));
+    if (!s.ok()) return s;
   }
-  uint64_t size = h->block_size;
-  {
+  Status result = Status::Ok();
+  uint64_t size = 0;
+  if (!h->IsLive()) {
+    result = Status::Corruption("Free of non-live block");
+  } else {
+    size = h->block_size;
     // Poison under the object latch so latched readers (fuzzy traversal,
     // undo re-validation) never see a half-freed block.
     ExclusiveLatchGuard lg(&h->latch);
     h->pad = 0;  // no retirement sequence: defeats any stale ReleaseRetired
     h->StoreMagic(ObjectHeader::kFreeMagic);
   }
-  FreeRangeLocked(offset, size);
-  return Status::Ok();
+  if (pool_ != nullptr) {
+    pool_->UnpinRange(id_, offset, sizeof(ObjectHeader));
+  }
+  if (result.ok()) FreeRangeLocked(offset, size);
+  return result;
 }
 
 Status Partition::PoisonForRetire(uint64_t offset, uint64_t* size,
                                   uint32_t* seq) {
   std::lock_guard<std::mutex> g(mu_);
   ObjectHeader* h = HeaderAt(offset);
-  if (h == nullptr || !h->IsLive()) {
-    return Status::Corruption("retire of non-live block");
+  if (h == nullptr) return Status::Corruption("retire of non-live block");
+  if (pool_ != nullptr) {
+    Status s = pool_->PinRangeForWrite(id_, offset, sizeof(ObjectHeader));
+    if (!s.ok()) return s;
   }
-  *size = h->block_size;
-  *seq = ++retire_seq_;  // 0 is reserved for "never retired"
-  {
+  Status result = Status::Ok();
+  if (!h->IsLive()) {
+    result = Status::Corruption("retire of non-live block");
+  } else {
+    *size = h->block_size;
+    *seq = ++retire_seq_;  // 0 is reserved for "never retired"
     // Same poison discipline as Free, but the range stays OUT of the free
     // list until ReleaseRetired — latch-free readers that already hold the
     // raw header pointer keep reading stable poison, never recycled bytes.
@@ -161,13 +242,21 @@ Status Partition::PoisonForRetire(uint64_t offset, uint64_t* size,
     h->pad = *seq;
     h->StoreMagic(ObjectHeader::kFreeMagic);
   }
-  return Status::Ok();
+  if (pool_ != nullptr) {
+    pool_->UnpinRange(id_, offset, sizeof(ObjectHeader));
+  }
+  return result;
 }
 
 void Partition::ReleaseRetired(uint64_t offset, uint64_t size, uint32_t seq) {
   std::lock_guard<std::mutex> g(mu_);
   ObjectHeader* h = HeaderAt(offset);
   if (h == nullptr) return;
+  EpochGuard eg(pool_ != nullptr ? pool_->epoch_manager() : nullptr);
+  if (pool_ != nullptr &&
+      !pool_->EnsureRange(id_, offset, sizeof(ObjectHeader)).ok()) {
+    return;  // cannot verify the stamp; leak the range rather than corrupt
+  }
   // The block may have been resurrected (AllocateAt re-created the object
   // in place: live magic, pad cleared) or re-retired under a newer
   // sequence since this retirement was queued; in both cases the newer
@@ -201,24 +290,31 @@ ObjectHeader* Partition::HeaderAt(uint64_t offset) {
   if (offset < kBaseOffset || offset + sizeof(ObjectHeader) > capacity_) {
     return nullptr;
   }
-  return reinterpret_cast<ObjectHeader*>(arena_.get() + offset);
+  return reinterpret_cast<ObjectHeader*>(arena_ + offset);
 }
 
 const ObjectHeader* Partition::HeaderAt(uint64_t offset) const {
   if (offset < kBaseOffset || offset + sizeof(ObjectHeader) > capacity_) {
     return nullptr;
   }
-  return reinterpret_cast<const ObjectHeader*>(arena_.get() + offset);
+  return reinterpret_cast<const ObjectHeader*>(arena_ + offset);
 }
 
 bool Partition::ValidateObject(ObjectId id) const {
   const ObjectHeader* h = HeaderAt(id.offset());
-  return h != nullptr && h->IsLive() && h->self == id.raw();
+  if (h == nullptr) return false;
+  EpochGuard eg(pool_ != nullptr ? pool_->epoch_manager() : nullptr);
+  if (pool_ != nullptr &&
+      !pool_->EnsureRange(id_, id.offset(), sizeof(ObjectHeader)).ok()) {
+    return false;
+  }
+  return h->IsLive() && h->self == id.raw();
 }
 
 void Partition::ForEachLiveObject(
     const std::function<void(uint64_t)>& fn) const {
   std::lock_guard<std::mutex> g(mu_);
+  EpochGuard eg(pool_ != nullptr ? pool_->epoch_manager() : nullptr);
   uint64_t off = kBaseOffset;
   while (off < high_water_) {
     auto hole = free_list_.find(off);
@@ -226,9 +322,20 @@ void Partition::ForEachLiveObject(
       off += hole->second;
       continue;
     }
+    if (pool_ != nullptr &&
+        !pool_->EnsureRange(id_, off, sizeof(ObjectHeader)).ok()) {
+      break;
+    }
     const ObjectHeader* h = HeaderAt(off);
     if (h == nullptr || h->block_size == 0) break;  // corrupt; stop walking
-    if (h->IsLive()) fn(off);
+    if (h->IsLive()) {
+      // The whole block: fn reads refs and data, not just the header.
+      if (pool_ != nullptr) {
+        pool_->EnsureRange(
+            id_, off, std::min<uint64_t>(h->block_size, capacity_ - off));
+      }
+      fn(off);
+    }
     off += h->block_size;
   }
 }
@@ -236,6 +343,7 @@ void Partition::ForEachLiveObject(
 FragmentationStats Partition::GetFragmentationStats() const {
   FragmentationStats out;
   std::lock_guard<std::mutex> g(mu_);
+  EpochGuard eg(pool_ != nullptr ? pool_->epoch_manager() : nullptr);
   out.capacity = capacity_;
   out.high_water = high_water_;
   for (const auto& [off, size] : free_list_) {
@@ -251,6 +359,10 @@ FragmentationStats Partition::GetFragmentationStats() const {
       off += hole->second;
       continue;
     }
+    if (pool_ != nullptr &&
+        !pool_->EnsureRange(id_, off, sizeof(ObjectHeader)).ok()) {
+      break;
+    }
     const ObjectHeader* h = HeaderAt(off);
     if (h == nullptr || h->block_size == 0) break;
     if (h->IsLive()) {
@@ -262,20 +374,28 @@ FragmentationStats Partition::GetFragmentationStats() const {
   return out;
 }
 
-Partition::Image Partition::Snapshot() const {
+Status Partition::SnapshotInto(Image* out) const {
   std::lock_guard<std::mutex> g(mu_);
-  Image img;
-  img.high_water = high_water_;
-  img.free_list = free_list_;
-  img.bytes.assign(arena_.get(), arena_.get() + high_water_);
-  return img;
+  out->high_water = high_water_;
+  out->free_list = free_list_;
+  out->bytes.assign(high_water_, 0);
+  if (pool_ != nullptr) {
+    // Stream through the pool: resident/warm pages from memory, cold
+    // pages verified straight off the data file, residency undisturbed.
+    return pool_->ReadRangeBypass(id_, 0, high_water_, out->bytes.data());
+  }
+  std::memcpy(out->bytes.data(), arena_, high_water_);
+  return Status::Ok();
 }
 
 void Partition::Restore(const Image& image) {
   std::lock_guard<std::mutex> g(mu_);
-  std::memset(arena_.get(), 0, capacity_);
+  // Pin every page resident and dirty for the raw rewrite below; no
+  // fetches — the current contents are about to be overwritten.
+  if (pool_ != nullptr) pool_->BeginRestore(id_);
+  std::memset(arena_, 0, capacity_);
   if (!image.bytes.empty()) {
-    std::memcpy(arena_.get(), image.bytes.data(), image.bytes.size());
+    std::memcpy(arena_, image.bytes.data(), image.bytes.size());
   }
   high_water_ = image.high_water;
   free_list_ = image.free_list;
@@ -305,6 +425,9 @@ void Partition::Restore(const Image& image) {
   for (const auto& [poff, psize] : poisoned) {
     FreeRangeLocked(poff, psize);
   }
+  // Unpin; pages past the restored high-water mark go back to cold with
+  // nothing on disk, and residency is evicted down to the frame budget.
+  if (pool_ != nullptr) pool_->EndRestore(id_, high_water_);
 }
 
 }  // namespace brahma

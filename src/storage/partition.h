@@ -14,6 +14,8 @@
 
 namespace brahma {
 
+class BufferPool;
+
 // Fragmentation summary of one partition arena (compaction is one of the
 // driving operations for reorganization, paper Section 1).
 struct FragmentationStats {
@@ -38,6 +40,13 @@ struct FragmentationStats {
 // coalescing, which both models fragmentation realistically and lets
 // recovery re-place a block at an exact offset (AllocateAt) during redo.
 //
+// With a BufferPool attached (DESIGN.md §13) the arena stays the same
+// stable address space, but only a bounded number of its pages are
+// materialized: reads ensure residency through the pool, writes pin the
+// affected pages (so eviction never tears or loses them), and cold
+// pages round-trip through the DiskManager data file. Without a pool
+// every page is permanently resident (the seed's in-memory model).
+//
 // Thread safety: allocation/free/snapshot are serialized by an internal
 // mutex. Object contents are protected by the per-object latch in the
 // header, not by this class.
@@ -48,12 +57,28 @@ class Partition {
   static constexpr uint64_t kBaseOffset = 16;
 
   Partition(PartitionId id, uint64_t capacity);
+  ~Partition();
 
   Partition(const Partition&) = delete;
   Partition& operator=(const Partition&) = delete;
 
   PartitionId id() const { return id_; }
   uint64_t capacity() const { return capacity_; }
+
+  // Wires the disk-backed page space in: registers this arena with the
+  // pool (all pages cold) and routes every subsequent access through
+  // it. Call before any traffic; the pool must outlive the partition's
+  // use. Null detaches (tests).
+  void AttachBufferPool(BufferPool* pool);
+  BufferPool* buffer_pool() const { return pool_; }
+
+  // Read-path residency: ensures the header at offset — and, if it is a
+  // live block, the whole block — is materialized. The caller must hold
+  // an epoch guard across its subsequent dereference (the same
+  // discipline DESIGN.md §11 already demands of every Get caller); the
+  // bytes then stay valid even if the page is evicted mid-read. No-op
+  // without a pool.
+  void TouchForRead(uint64_t offset) const;
 
   // Allocates a block for an object with the given shape; initializes the
   // header (live, all refs invalid, data zeroed) and returns its offset.
@@ -83,6 +108,8 @@ class Partition {
 
   // Returns the header at offset, or nullptr if the offset is out of
   // bounds. Does not check liveness; callers use IsLive()/self checks.
+  // Does not touch the pool: callers on the disk-backed path reach it
+  // through Get/TouchForRead or inside walkers that ensure residency.
   ObjectHeader* HeaderAt(uint64_t offset);
   const ObjectHeader* HeaderAt(uint64_t offset) const;
 
@@ -91,7 +118,8 @@ class Partition {
 
   // Walks all live objects (by ascending offset) and calls fn(offset).
   // Holds the allocation mutex for the duration; fn must not allocate or
-  // free in this partition.
+  // free in this partition. Each live block is made resident before fn
+  // sees it.
   void ForEachLiveObject(const std::function<void(uint64_t)>& fn) const;
 
   FragmentationStats GetFragmentationStats() const;
@@ -102,18 +130,26 @@ class Partition {
     std::map<uint64_t, uint64_t> free_list;
     uint64_t high_water = 0;
   };
-  Image Snapshot() const;
+  // Streams cold pages straight from the data file (no pool pollution);
+  // fails if a cold page cannot be read back verified.
+  Status SnapshotInto(Image* out) const;
+  Image Snapshot() const {
+    Image img;
+    SnapshotInto(&img);
+    return img;
+  }
   void Restore(const Image& image);
 
  private:
   Status AllocateLocked(uint64_t offset, uint32_t block);
-  void InitializeObject(uint64_t offset, uint32_t num_refs,
-                        uint32_t data_size, bool resurrect = false);
+  Status InitializeObject(uint64_t offset, uint32_t num_refs,
+                          uint32_t data_size, bool resurrect = false);
   void FreeRangeLocked(uint64_t offset, uint64_t size);
 
   const PartitionId id_;
   const uint64_t capacity_;
-  std::unique_ptr<uint8_t[]> arena_;
+  uint8_t* arena_;  // page-aligned so frames can madvise back to the OS
+  BufferPool* pool_ = nullptr;
 
   mutable std::mutex mu_;
   std::map<uint64_t, uint64_t> free_list_;  // offset -> hole size, coalesced

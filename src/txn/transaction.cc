@@ -190,6 +190,10 @@ Status Transaction::SetRef(ObjectId oid, uint32_t slot, ObjectId new_ref) {
   ObjectHeader* h = GetLive(oid);
   if (h == nullptr) return Status::Aborted("stale reference " + oid.ToString());
   if (slot >= h->num_refs) return Status::InvalidArgument("bad slot");
+  // Write pin: the block's frames stay resident (and un-written-back)
+  // for the duration of the in-place mutation below.
+  ObjectStore::GuardForWrite wg(ctx_.store, oid);
+  if (!wg.ok()) return Status::Internal("data page pin failed");
   SharedLatchGuard ck(ctx_.checkpoint_latch);
   ExclusiveLatchGuard g(&h->latch);
   ObjectId old_ref = h->refs()[slot];
@@ -216,6 +220,8 @@ Status Transaction::WriteData(ObjectId oid, const std::vector<uint8_t>& bytes) {
   if (bytes.size() != h->data_size) {
     return Status::InvalidArgument("data size mismatch");
   }
+  ObjectStore::GuardForWrite wg(ctx_.store, oid);
+  if (!wg.ok()) return Status::Internal("data page pin failed");
   SharedLatchGuard ck(ctx_.checkpoint_latch);
   ExclusiveLatchGuard g(&h->latch);
   LogRecord rec;
@@ -256,6 +262,7 @@ Status Transaction::CreateObjectWithContents(
   rec.reorg_old = reorg_old;
   AppendOwn(std::move(rec));
   {
+    ObjectStore::GuardForWrite wg(ctx_.store, oid);
     // Fill under the object latch: if the allocation reused an arena
     // offset, the ObjectId is the same as the freed object's and a
     // latch-free reader still holding that id will validate successfully
@@ -383,6 +390,7 @@ void Transaction::UndoToEnd() {
           clr.new_ref = rec.old_ref;
           clr.undo_next_lsn = next;
           AppendOwn(std::move(clr));
+          ObjectStore::GuardForWrite wg(ctx_.store, rec.oid);
           h->refs()[rec.slot] = rec.old_ref;
         }
         break;
@@ -401,6 +409,7 @@ void Transaction::UndoToEnd() {
           clr.new_data = rec.old_data;
           clr.undo_next_lsn = next;
           AppendOwn(std::move(clr));
+          ObjectStore::GuardForWrite wg(ctx_.store, rec.oid);
           std::memcpy(h->data(), rec.old_data.data(), rec.old_data.size());
         }
         break;
@@ -437,6 +446,7 @@ void Transaction::UndoToEnd() {
                                               rec.data_size);
         if (s.ok()) {
           ObjectHeader* h = ctx_.store->Get(rec.oid);
+          ObjectStore::GuardForWrite wg(ctx_.store, rec.oid);
           // Latched fill: the resurrected block bears the same ObjectId
           // the freed object had, so a latch-free reader that kept the
           // id can validate against it mid-undo.

@@ -18,12 +18,25 @@ void FillObject(ObjectStore* store, ObjectId oid,
                 const std::vector<uint8_t>& data) {
   ObjectHeader* h = store->Get(oid);
   if (h == nullptr) return;
+  ObjectStore::GuardForWrite wg(store, oid);
   for (uint32_t i = 0; i < h->num_refs && i < refs.size(); ++i) {
     h->refs()[i] = refs[i];
   }
   if (!data.empty() && data.size() == h->data_size) {
     std::memcpy(h->data(), data.data(), data.size());
   }
+}
+
+// Recovery-time in-place slot/data rewrite: resolves the object and
+// applies fn under a write pin so a disk-backed arena cannot evict or
+// write back the frame mid-mutation. Recovery is single-threaded; the
+// pin is about frame lifecycle, not concurrency.
+template <typename Fn>
+void ApplyInPlace(ObjectStore* store, ObjectId oid, Fn fn) {
+  ObjectHeader* h = store->Get(oid);
+  if (h == nullptr) return;
+  ObjectStore::GuardForWrite wg(store, oid);
+  fn(h);
 }
 
 }  // namespace
@@ -39,37 +52,34 @@ void RedoApply(ObjectStore* store, const LogRecord& rec) {
     case LogRecordType::kFree:
       if (store->Validate(rec.oid)) store->FreeObject(rec.oid);
       break;
-    case LogRecordType::kSetRef: {
-      ObjectHeader* h = store->Get(rec.oid);
-      if (h != nullptr && rec.slot < h->num_refs) {
-        h->refs()[rec.slot] = rec.new_ref;
-      }
+    case LogRecordType::kSetRef:
+      ApplyInPlace(store, rec.oid, [&rec](ObjectHeader* h) {
+        if (rec.slot < h->num_refs) h->refs()[rec.slot] = rec.new_ref;
+      });
       break;
-    }
-    case LogRecordType::kUpdateData: {
-      ObjectHeader* h = store->Get(rec.oid);
-      if (h != nullptr && rec.new_data.size() == h->data_size) {
-        std::memcpy(h->data(), rec.new_data.data(), rec.new_data.size());
-      }
+    case LogRecordType::kUpdateData:
+      ApplyInPlace(store, rec.oid, [&rec](ObjectHeader* h) {
+        if (rec.new_data.size() == h->data_size) {
+          std::memcpy(h->data(), rec.new_data.data(), rec.new_data.size());
+        }
+      });
       break;
-    }
     case LogRecordType::kClr:
       // CLR payloads describe the compensating action: redo it forward.
       switch (rec.compensates) {
-        case LogRecordType::kSetRef: {
-          ObjectHeader* h = store->Get(rec.oid);
-          if (h != nullptr && rec.slot < h->num_refs) {
-            h->refs()[rec.slot] = rec.new_ref;
-          }
+        case LogRecordType::kSetRef:
+          ApplyInPlace(store, rec.oid, [&rec](ObjectHeader* h) {
+            if (rec.slot < h->num_refs) h->refs()[rec.slot] = rec.new_ref;
+          });
           break;
-        }
-        case LogRecordType::kUpdateData: {
-          ObjectHeader* h = store->Get(rec.oid);
-          if (h != nullptr && rec.new_data.size() == h->data_size) {
-            std::memcpy(h->data(), rec.new_data.data(), rec.new_data.size());
-          }
+        case LogRecordType::kUpdateData:
+          ApplyInPlace(store, rec.oid, [&rec](ObjectHeader* h) {
+            if (rec.new_data.size() == h->data_size) {
+              std::memcpy(h->data(), rec.new_data.data(),
+                          rec.new_data.size());
+            }
+          });
           break;
-        }
         case LogRecordType::kCreate:  // compensating action: free
           if (store->Validate(rec.oid)) store->FreeObject(rec.oid);
           break;
@@ -99,20 +109,18 @@ void UndoApply(ObjectStore* store, const LogRecord& rec) {
       }
       FillObject(store, rec.oid, rec.refs_image, rec.old_data);
       break;
-    case LogRecordType::kSetRef: {
-      ObjectHeader* h = store->Get(rec.oid);
-      if (h != nullptr && rec.slot < h->num_refs) {
-        h->refs()[rec.slot] = rec.old_ref;
-      }
+    case LogRecordType::kSetRef:
+      ApplyInPlace(store, rec.oid, [&rec](ObjectHeader* h) {
+        if (rec.slot < h->num_refs) h->refs()[rec.slot] = rec.old_ref;
+      });
       break;
-    }
-    case LogRecordType::kUpdateData: {
-      ObjectHeader* h = store->Get(rec.oid);
-      if (h != nullptr && rec.old_data.size() == h->data_size) {
-        std::memcpy(h->data(), rec.old_data.data(), rec.old_data.size());
-      }
+    case LogRecordType::kUpdateData:
+      ApplyInPlace(store, rec.oid, [&rec](ObjectHeader* h) {
+        if (rec.old_data.size() == h->data_size) {
+          std::memcpy(h->data(), rec.old_data.data(), rec.old_data.size());
+        }
+      });
       break;
-    }
     default:
       break;
   }

@@ -1,6 +1,8 @@
 // Randomized crash-recovery fuzzer over the disk-backed WAL and
 // checkpoint store (DESIGN.md §12). Each seed builds a small tracked
-// object graph in a fresh WAL directory, runs a randomized schedule of
+// object graph in a fresh WAL directory (half the seeds additionally put
+// the partition arenas behind a tiny disk-backed frame pool, so dirty
+// frames die with the crash), runs a randomized schedule of
 // committed writes, aborts, left-open transactions, checkpoints, and an
 // occasional concurrent reorganization while one randomly chosen media
 // fault (torn write, failed fsync, failed checkpoint publication — as a
@@ -85,9 +87,21 @@ std::string RunSeed(uint64_t seed, testing::ScopedTempDir* dir) {
   opt.wal_segment_bytes = 1024 + 512 * rng.Uniform(7);
   opt.fsync_mode = FsyncMode::kNoop;
   opt.lock_timeout = std::chrono::milliseconds(100);
+  // Disk-data-path mode (DESIGN.md §13): half the seeds run the arenas
+  // behind a tiny disk-backed frame pool, so the crash also loses dirty
+  // frames and recovery must rebuild the arenas through the pool's
+  // restore protocol under constant eviction.
+  if (rng.Bernoulli(0.5)) {
+    opt.data_backing = DataBacking::kDisk;
+    opt.data_dir = dir->path() + "/data";
+    opt.buffer_pool_frames = 4 + rng.Uniform(8);
+  }
   Database db(opt);
   if (!db.durability_status().ok()) {
     return "durability init failed: " + db.durability_status().ToString();
+  }
+  if (!db.data_status().ok()) {
+    return "data init failed: " + db.data_status().ToString();
   }
 
   // --- Setup (no faults armed yet): tracked objects in partitions 1-2,

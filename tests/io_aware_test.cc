@@ -121,5 +121,78 @@ TEST(IoAwarePlannerTest, BeatsAddressOrderOnFetches) {
             CountExternalLockAcquisitions(address_order, ert));
 }
 
+// Cross-check of the simulated cost model against ground truth: the same
+// clustered-vs-scattered orders ranked by CountExternalParentFetches must
+// rank the same way under MeasureExternalParentFetches, which replays the
+// touches against the real disk-backed frame pool and counts actual page
+// misses.
+TEST(IoAwarePlannerTest, SimulatedCostAgreesWithRealPoolMisses) {
+  testing::ScopedTempDir dir("ioaware");
+  DatabaseOptions opt = testing::SmallDbOptions(4);
+  opt.data_backing = DataBacking::kDisk;
+  opt.data_dir = dir.path();
+  opt.buffer_pool_frames = 4;  // far fewer frames than parent pages
+  opt.latchfree_reads = true;
+  Database db(opt);
+  ASSERT_TRUE(db.data_status().ok()) << db.data_status().ToString();
+
+  // 8 page-sized external parents in partition 2, 4 children each in
+  // partition 1. A parent's block spans ~2 data pages, so 8 parents
+  // cannot fit a 4-frame pool: order decides how often they re-fault.
+  constexpr int kParents = 8, kKids = 4;
+  ObjectId parents[kParents];
+  ObjectId kids[kParents][kKids];
+  Entries ert;
+  {
+    auto txn = db.Begin();
+    for (int p = 0; p < kParents; ++p) {
+      ASSERT_TRUE(txn->CreateObject(2, kKids, 4000, &parents[p]).ok());
+      for (int k = 0; k < kKids; ++k) {
+        ASSERT_TRUE(txn->CreateObject(1, 0, 8, &kids[p][k]).ok());
+        ASSERT_TRUE(txn->SetRef(parents[p], k, kids[p][k]).ok());
+        ert.emplace_back(kids[p][k], parents[p]);
+      }
+    }
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+
+  std::vector<ObjectId> clustered, scattered;
+  for (int p = 0; p < kParents; ++p) {
+    for (int k = 0; k < kKids; ++k) clustered.push_back(kids[p][k]);
+  }
+  for (int k = 0; k < kKids; ++k) {
+    for (int p = 0; p < kParents; ++p) scattered.push_back(kids[p][k]);
+  }
+
+  // Simulated verdict (buffer of 2 parents ~ 4 frames of 2-page blocks).
+  uint64_t sim_clustered = CountExternalParentFetches(clustered, ert, 2);
+  uint64_t sim_scattered = CountExternalParentFetches(scattered, ert, 2);
+  ASSERT_LT(sim_clustered, sim_scattered);
+
+  // Real-pool verdict: identical ranking. FlushAll between measurements
+  // so neither replay inherits the other's residency.
+  ASSERT_TRUE(db.buffer_pool()->FlushAll().ok());
+  uint64_t real_clustered =
+      MeasureExternalParentFetches(&db.store(), clustered, ert);
+  ASSERT_TRUE(db.buffer_pool()->FlushAll().ok());
+  uint64_t real_scattered =
+      MeasureExternalParentFetches(&db.store(), scattered, ert);
+
+  EXPECT_GT(real_clustered, 0u);
+  EXPECT_LT(real_clustered, real_scattered);
+
+  // The planner's own MeasureOrderCost wrapper sees the pool too (it
+  // reads the live ERT, which holds the same child -> parent edges).
+  db.analyzer().Sync();
+  CopyOutPlanner base(3);
+  IoAwarePlanner planner(&base, &db.erts().For(1));
+  planner.set_store(&db.store());
+  ASSERT_TRUE(db.buffer_pool()->FlushAll().ok());
+  uint64_t planner_clustered = planner.MeasureOrderCost(clustered);
+  ASSERT_TRUE(db.buffer_pool()->FlushAll().ok());
+  uint64_t planner_scattered = planner.MeasureOrderCost(scattered);
+  EXPECT_LT(planner_clustered, planner_scattered);
+}
+
 }  // namespace
 }  // namespace brahma
