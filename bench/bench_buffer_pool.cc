@@ -316,6 +316,7 @@ void Run() {
   RemoveDirRecursive("./tmp-bench-buffer-pool-data");
   if (!json.WriteFile("BENCH_buffer_pool.json")) {
     std::fprintf(stderr, "failed to write BENCH_buffer_pool.json\n");
+    NoteFailure();
     std::exit(1);
   }
   std::printf("wrote BENCH_buffer_pool.json\n");
@@ -327,5 +328,8 @@ void Run() {
 
 int main() {
   brahma::bench::Run();
-  return 0;
+  // Nonzero when any experiment's reorganization failed or a JSON
+  // artifact could not be written: CI must fail the step instead of
+  // validating zeroed stats.
+  return brahma::bench::ExitCode();
 }

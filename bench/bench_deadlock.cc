@@ -110,6 +110,7 @@ void Run() {
   }
   if (!json.WriteFile("BENCH_deadlock.json")) {
     std::fprintf(stderr, "failed to write BENCH_deadlock.json\n");
+    NoteFailure();
   }
 }
 
@@ -119,5 +120,8 @@ void Run() {
 
 int main() {
   brahma::bench::Run();
-  return 0;
+  // Nonzero when any experiment's reorganization failed or a JSON
+  // artifact could not be written: CI must fail the step instead of
+  // validating zeroed stats.
+  return brahma::bench::ExitCode();
 }

@@ -44,5 +44,8 @@ void Run() {
 
 int main() {
   brahma::bench::Run();
-  return 0;
+  // Nonzero when any experiment's reorganization failed or a JSON
+  // artifact could not be written: CI must fail the step instead of
+  // validating zeroed stats.
+  return brahma::bench::ExitCode();
 }

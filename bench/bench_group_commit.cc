@@ -91,6 +91,7 @@ void Run() {
   }
   if (!json.WriteFile("BENCH_group_commit.json")) {
     std::fprintf(stderr, "failed to write BENCH_group_commit.json\n");
+    NoteFailure();
   }
 }
 
@@ -100,5 +101,8 @@ void Run() {
 
 int main() {
   brahma::bench::Run();
-  return 0;
+  // Nonzero when any experiment's reorganization failed or a JSON
+  // artifact could not be written: CI must fail the step instead of
+  // validating zeroed stats.
+  return brahma::bench::ExitCode();
 }

@@ -115,6 +115,7 @@ void Run() {
   }
   if (!json.WriteFile("BENCH_latchfree_reads.json")) {
     std::fprintf(stderr, "failed to write BENCH_latchfree_reads.json\n");
+    NoteFailure();
   }
 }
 
@@ -124,5 +125,8 @@ void Run() {
 
 int main() {
   brahma::bench::Run();
-  return 0;
+  // Nonzero when any experiment's reorganization failed or a JSON
+  // artifact could not be written: CI must fail the step instead of
+  // validating zeroed stats.
+  return brahma::bench::ExitCode();
 }

@@ -73,6 +73,7 @@ void Run() {
   }
   if (!json.WriteFile("BENCH_parallel_ira.json")) {
     std::fprintf(stderr, "failed to write BENCH_parallel_ira.json\n");
+    NoteFailure();
   }
 }
 
@@ -82,5 +83,8 @@ void Run() {
 
 int main() {
   brahma::bench::Run();
-  return 0;
+  // Nonzero when any experiment's reorganization failed or a JSON
+  // artifact could not be written: CI must fail the step instead of
+  // validating zeroed stats.
+  return brahma::bench::ExitCode();
 }

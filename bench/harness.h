@@ -99,7 +99,24 @@ struct ExperimentResult {
   ReorgStats reorg;
   Status reorg_status;
   double reorg_duration_ms = 0;
+  // True when the run's reorganization failed (reorg scenarios only).
+  // Benches must not report such a row as a valid measurement; the
+  // harness also latches the process-wide failure flag so main() exits
+  // nonzero and CI bench-smoke cannot validate garbage stats.
+  bool failed = false;
 };
+
+// Process-wide failure latch: any experiment whose reorganization failed
+// (or any bench-reported write failure) flips it; bench main() returns
+// ExitCode() so CI fails the step instead of validating zeroed stats.
+inline std::atomic<bool>& FailureFlag() {
+  static std::atomic<bool> failed{false};
+  return failed;
+}
+
+inline void NoteFailure() { FailureFlag().store(true); }
+
+inline int ExitCode() { return FailureFlag().load() ? 1 : 0; }
 
 // True when the full (longer) sweeps were requested.
 inline bool FullMode() {
@@ -126,10 +143,16 @@ class JsonBenchWriter {
 
   void BeginRow() { rows_.emplace_back(); }
 
+  // Safe even when a bench forgets BeginRow: the first Add opens a row
+  // instead of dereferencing rows_.back() on an empty vector (UB).
   void Add(const std::string& key, double value) {
+    if (rows_.empty()) rows_.emplace_back();
     rows_.back().emplace_back(key, value);
   }
 
+  // False on any stdio error (including a short write detected by
+  // ferror before fclose, and a failed fclose): a full disk must not
+  // silently commit a truncated BENCH_*.json.
   bool WriteFile(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;
@@ -151,8 +174,9 @@ class JsonBenchWriter {
       std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    return true;
+    const bool write_ok = std::ferror(f) == 0;
+    const bool close_ok = std::fclose(f) == 0;
+    return write_ok && close_ok;
   }
 
  private:
@@ -216,15 +240,15 @@ inline ExperimentResult RunExperimentExact(const ExperimentConfig& cfg) {
   if (cfg.scenario == Scenario::kNR) {
     // Timer thread ends the run.
     reorg_thread = std::thread([&]() {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(static_cast<int>(cfg.nr_duration_s * 1e3)));
+      // duration<double> keeps sub-millisecond durations: casting to
+      // whole milliseconds turned a small nr_duration_s into 0.
+      std::this_thread::sleep_for(std::chrono::duration<double>(cfg.nr_duration_s));
       stop.store(true);
     });
   } else {
     reorg_thread = std::thread([&]() {
       Stopwatch window;
-      std::this_thread::sleep_for(std::chrono::milliseconds(
-          static_cast<int>(cfg.warmup_s * 1e3)));
+      std::this_thread::sleep_for(std::chrono::duration<double>(cfg.warmup_s));
       CopyOutPlanner planner(dst);
       Stopwatch sw;
       if (cfg.scenario == Scenario::kIRA) {
@@ -244,7 +268,7 @@ inline ExperimentResult RunExperimentExact(const ExperimentConfig& cfg) {
       double pad_ms = cfg.min_duration_s * 1e3 - window.ElapsedMillis();
       if (pad_ms > 0) {
         std::this_thread::sleep_for(
-            std::chrono::milliseconds(static_cast<int>(pad_ms)));
+            std::chrono::duration<double, std::milli>(pad_ms));
       }
       stop.store(true);
     });
@@ -256,6 +280,8 @@ inline ExperimentResult RunExperimentExact(const ExperimentConfig& cfg) {
   if (cfg.scenario != Scenario::kNR && !result.reorg_status.ok()) {
     std::fprintf(stderr, "reorg failed: %s\n",
                  result.reorg_status.ToString().c_str());
+    result.failed = true;
+    NoteFailure();  // main() exits nonzero; CI must not validate this row
   }
   return result;
 }

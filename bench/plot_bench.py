@@ -30,11 +30,12 @@ import sys
 
 # Sweep keys the benchmarks use, in preference order, for --x detection.
 X_KEY_CANDIDATES = ["mpl", "workers", "group_size", "threads",
-                    "objects_per_partition", "update_prob", "after"]
+                    "objects_per_partition", "update_prob", "phase",
+                    "after"]
 
 # Mode/ablation keys, in preference order, for --series detection.
 SERIES_KEY_CANDIDATES = ["group_commit", "latchfree", "durability", "mode",
-                         "mode_disk", "scenario"]
+                         "mode_disk", "scenario", "throttle"]
 
 ASCII_MARKERS = "*o+x#@"
 SVG_COLORS = ["#1f6feb", "#d1242f", "#1a7f37", "#8250df", "#bf8700",
@@ -50,6 +51,45 @@ def load_rows(path):
     name = doc.get("bench", os.path.basename(path))
     rows = [r for r in doc.get("rows", []) if isinstance(r, dict)]
     return name, rows
+
+
+# Timeline phases some benches (net_server) fold into one row as
+# before_*/during_*/after_* columns.
+PHASES = ["before", "during", "after"]
+
+
+def explode_phases(rows):
+    """Reshape phase-prefixed columns into one row per phase.
+
+    A row like {throttle: 1, before_p99_ms: 66, during_p99_ms: 108, ...}
+    summarizes a timeline; as a single point it can't be charted. Explode
+    it into three rows tagged with a numeric ``phase`` column (0=before,
+    1=during, 2=after) carrying the unprefixed metrics, so each original
+    row becomes a 3-point line (phase on the x axis, e.g. one line per
+    throttle mode)."""
+    def phase_of(key):
+        for i, p in enumerate(PHASES):
+            if key.startswith(p + "_"):
+                return i, key[len(p) + 1:]
+        return None, key
+
+    if not any(phase_of(k)[0] is not None for r in rows for k in r):
+        return rows
+    out = []
+    for row in rows:
+        base = {k: v for k, v in row.items() if phase_of(k)[0] is None}
+        split = [dict(base) for _ in PHASES]
+        hit = [False] * len(PHASES)
+        for k, v in row.items():
+            i, stripped = phase_of(k)
+            if i is not None:
+                split[i][stripped] = v
+                hit[i] = True
+        for i, sub in enumerate(split):
+            if hit[i]:
+                sub["phase"] = i
+                out.append(sub)
+    return out
 
 
 def numeric_keys(rows):
@@ -262,6 +302,7 @@ def main():
         if not rows:
             print(f"{path}: no rows", file=sys.stderr)
             continue
+        rows = explode_phases(rows)
         series_key = pick_series_key(rows, args.series)
         x_key = pick_x_key(rows, args.x, series_key)
         if x_key is None:

@@ -1,0 +1,490 @@
+// Swarm client driver for the networked object server (DESIGN.md §14).
+//
+// One process multiplexes --connections non-blocking TCP connections onto
+// a single epoll loop, each running a closed loop of kTraverse requests
+// (the paper's Section 5.2 random-walk transaction, executed server-side).
+// A walk that loses a deadlock/timeout race is retried until it commits,
+// and the whole retry chain counts as ONE user transaction whose latency
+// spans first send to final OK — the paper's response-time accounting.
+//
+// Every completed transaction appends one sample line to --out:
+//
+//   <completion CLOCK_REALTIME microseconds> <latency microseconds>
+//
+// so a parent harness (bench_net_server) can fork many of these, stamp
+// reorganization start/stop against the same realtime clock, and split
+// the merged samples into before/during/after phases. SIGTERM (or
+// --duration-s elapsing) stops the loop gracefully and flushes the file;
+// the parent may also kill -9 one of us mid-run to prove the server
+// survives abrupt client death.
+//
+// Usage:
+//   swarm_client --port P [--host 127.0.0.1] [--connections 64]
+//     [--duration-s 10] [--steps 8] [--update-permille 500]
+//     [--ref-mut-permille 200] [--partitions 10] [--seed 1]
+//     [--out swarm.samples]
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace {
+
+volatile sig_atomic_t g_stop = 0;
+void OnSigTerm(int) { g_stop = 1; }
+
+int64_t MonoUs() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_sec * 1000000LL + ts.tv_nsec / 1000;
+}
+
+int64_t RealUs() {
+  timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return ts.tv_sec * 1000000LL + ts.tv_nsec / 1000;
+}
+
+struct Options {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint32_t connections = 64;
+  double duration_s = 10.0;
+  uint32_t steps = 8;
+  uint32_t update_permille = 500;
+  uint32_t ref_mut_permille = 200;
+  uint32_t partitions = 10;
+  uint64_t seed = 1;
+  // Mean exponential think time between transactions. 0 = closed loop
+  // (a new walk fires the moment the previous one commits); > 0 keeps
+  // the offered load below saturation so tail latency measures the
+  // server, not the client's own queueing.
+  double think_ms = 0;
+  std::string out;
+};
+
+struct Sample {
+  int64_t complete_real_us;
+  int64_t latency_us;
+};
+
+// One multiplexed connection: a closed-loop requester with its own
+// buffers. `txn_start_us` holds across retries of the same walk.
+struct Conn {
+  int fd = -1;
+  uint32_t id = 0;
+  std::vector<uint8_t> in;
+  std::vector<uint8_t> out;
+  size_t out_off = 0;
+  bool want_write = false;
+  bool connecting = false;
+  int64_t txn_start_us = 0;
+  uint64_t attempts = 0;
+  uint64_t rng_state = 0;
+  // Invalidates scheduled think wake-ups across a reconnect (the new
+  // session starts its own transaction immediately).
+  uint32_t generation = 0;
+};
+
+struct Stats {
+  uint64_t committed = 0;
+  uint64_t retries = 0;
+  uint64_t errors = 0;
+  uint64_t reconnects = 0;
+};
+
+bool IsRetryable(const brahma::Status& st) {
+  return st.IsTimedOut() || st.IsAborted() || st.IsDeadlockVictim() ||
+         st.IsBusy();
+}
+
+class Swarm {
+ public:
+  explicit Swarm(const Options& opts) : opts_(opts) {}
+
+  int Run() {
+    epfd_ = epoll_create1(0);
+    if (epfd_ < 0) {
+      perror("epoll_create1");
+      return 1;
+    }
+    conns_.resize(opts_.connections);
+    for (uint32_t i = 0; i < opts_.connections; ++i) {
+      conns_[i].id = i;
+      conns_[i].rng_state =
+          opts_.seed ^ (0x5851F42D4C957F2Dull * (i + 1));
+      if (!Connect(&conns_[i])) return 1;
+    }
+
+    const int64_t t_end = MonoUs() +
+        static_cast<int64_t>(opts_.duration_s * 1e6);
+    std::vector<epoll_event> events(256);
+    while (!g_stop && MonoUs() < t_end) {
+      int timeout_ms = 100;
+      if (!think_heap_.empty()) {
+        const int64_t wait_us = think_heap_.top().due_us - MonoUs();
+        if (wait_us <= 0) {
+          timeout_ms = 0;
+        } else if (wait_us / 1000 < timeout_ms) {
+          timeout_ms = static_cast<int>(wait_us / 1000) + 1;
+        }
+      }
+      int n = epoll_wait(epfd_, events.data(),
+                         static_cast<int>(events.size()), timeout_ms);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        perror("epoll_wait");
+        return 1;
+      }
+      for (int i = 0; i < n; ++i) {
+        Conn* c = &conns_[events[i].data.u32];
+        if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+          Reconnect(c);
+          continue;
+        }
+        if (events[i].events & EPOLLOUT) {
+          if (!OnWritable(c)) continue;
+        }
+        if (events[i].events & EPOLLIN) {
+          OnReadable(c);
+        }
+      }
+      FireDueThinks();
+    }
+    for (Conn& c : conns_) {
+      if (c.fd >= 0) close(c.fd);
+    }
+    close(epfd_);
+    return Flush();
+  }
+
+ private:
+  bool Connect(Conn* c) {
+    int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (fd < 0) {
+      perror("socket");
+      return false;
+    }
+    sockaddr_in addr;
+    memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(opts_.port);
+    if (inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+      fprintf(stderr, "bad host %s\n", opts_.host.c_str());
+      close(fd);
+      return false;
+    }
+    int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+      perror("connect");
+      close(fd);
+      return false;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    c->fd = fd;
+    c->in.clear();
+    c->out.clear();
+    c->out_off = 0;
+    c->connecting = (rc != 0);
+    c->txn_start_us = 0;
+    c->attempts = 0;
+    // The first traverse is queued immediately; it goes out once the
+    // connect completes (EPOLLOUT) or right away if it already did.
+    QueueTraverse(c);
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT;
+    ev.data.u32 = c->id;
+    c->want_write = true;
+    if (epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      perror("epoll_ctl ADD");
+      close(fd);
+      c->fd = -1;
+      return false;
+    }
+    return true;
+  }
+
+  void Reconnect(Conn* c) {
+    if (c->fd >= 0) {
+      epoll_ctl(epfd_, EPOLL_CTL_DEL, c->fd, nullptr);
+      close(c->fd);
+      c->fd = -1;
+    }
+    ++c->generation;
+    ++stats_.reconnects;
+    if (!Connect(c)) {
+      // Server gone: give up on this connection slot; the rest carry on.
+      c->fd = -1;
+    }
+  }
+
+  void QueueTraverse(Conn* c) {
+    brahma::net::TraverseRequest req;
+    req.home_partition = 1 + (c->id % opts_.partitions);
+    req.steps = opts_.steps;
+    req.update_permille = opts_.update_permille;
+    req.ref_mutation_permille = opts_.ref_mut_permille;
+    req.seed = opts_.seed + c->id * 0x9E3779B97F4A7C15ull + c->attempts;
+    ++c->attempts;
+    std::vector<uint8_t> payload;
+    brahma::net::EncodeTraverseRequest(&payload, req);
+    brahma::net::AppendFrame(
+        &c->out, static_cast<uint8_t>(brahma::net::Op::kTraverse), payload);
+    if (c->txn_start_us == 0) c->txn_start_us = MonoUs();
+  }
+
+  // Returns false if the connection died (and was recycled).
+  bool OnWritable(Conn* c) {
+    c->connecting = false;
+    while (c->out_off < c->out.size()) {
+      ssize_t w = send(c->fd, c->out.data() + c->out_off,
+                       c->out.size() - c->out_off, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        Reconnect(c);
+        return false;
+      }
+      c->out_off += static_cast<size_t>(w);
+    }
+    if (c->out_off >= c->out.size()) {
+      c->out.clear();
+      c->out_off = 0;
+      SetWantWrite(c, false);
+    }
+    return true;
+  }
+
+  void SetWantWrite(Conn* c, bool on) {
+    if (c->want_write == on) return;
+    c->want_write = on;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (on ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+    ev.data.u32 = c->id;
+    epoll_ctl(epfd_, EPOLL_CTL_MOD, c->fd, &ev);
+  }
+
+  void OnReadable(Conn* c) {
+    uint8_t buf[4096];
+    for (;;) {
+      ssize_t n = recv(c->fd, buf, sizeof(buf), 0);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        Reconnect(c);
+        return;
+      }
+      if (n == 0) {
+        Reconnect(c);
+        return;
+      }
+      c->in.insert(c->in.end(), buf, buf + n);
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+    }
+    // Parse every complete reply frame buffered so far.
+    size_t consumed = 0;
+    for (;;) {
+      uint8_t op = 0;
+      const uint8_t* payload = nullptr;
+      uint32_t payload_len = 0;
+      size_t frame_len = 0;
+      brahma::net::FrameResult fr = brahma::net::ParseFrame(
+          c->in.data() + consumed, c->in.size() - consumed, &op, &payload,
+          &payload_len, &frame_len);
+      if (fr == brahma::net::FrameResult::kNeedMore) break;
+      if (fr != brahma::net::FrameResult::kFrame) {
+        Reconnect(c);
+        return;
+      }
+      consumed += frame_len;
+      // A false return means the connection was recycled and c->in no
+      // longer holds the bytes we were parsing.
+      if (!OnReply(c, payload, payload_len)) return;
+    }
+    if (consumed > 0) {
+      c->in.erase(c->in.begin(),
+                  c->in.begin() + static_cast<long>(consumed));
+    }
+    if (!c->out.empty()) SetWantWrite(c, true);
+    if (c->want_write) OnWritable(c);
+  }
+
+  bool OnReply(Conn* c, const uint8_t* payload, uint32_t payload_len) {
+    brahma::net::PayloadReader r(payload, payload_len);
+    brahma::Status st;
+    if (!DecodeStatus(&r, &st)) {
+      Reconnect(c);
+      return false;
+    }
+    bool txn_done = false;
+    if (st.ok()) {
+      Sample s;
+      s.complete_real_us = RealUs();
+      s.latency_us = MonoUs() - c->txn_start_us;
+      samples_.push_back(s);
+      ++stats_.committed;
+      c->txn_start_us = 0;
+      txn_done = true;
+    } else if (IsRetryable(st)) {
+      // Same user transaction retrying: no think time inside the chain.
+      ++stats_.retries;
+    } else {
+      // Invalid argument / internal: do not hot-loop on a poisoned
+      // request — count it and move on to a fresh transaction.
+      ++stats_.errors;
+      c->txn_start_us = 0;
+      txn_done = true;
+    }
+    if (txn_done && opts_.think_ms > 0) {
+      ScheduleThink(c);
+    } else {
+      QueueTraverse(c);
+    }
+    return true;
+  }
+
+  // Exponential think time (Poisson-ish arrivals per connection), capped
+  // at 5x the mean so a tail draw cannot idle a connection forever.
+  void ScheduleThink(Conn* c) {
+    uint64_t x = c->rng_state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    c->rng_state = x;
+    const double u =
+        (static_cast<double>(x >> 11) + 1.0) / 9007199254740993.0;
+    double think_us = -opts_.think_ms * 1000.0 * std::log(u);
+    think_us = std::min(think_us, opts_.think_ms * 5000.0);
+    think_heap_.push(
+        ThinkEntry{MonoUs() + static_cast<int64_t>(think_us), c->id,
+                   c->generation});
+  }
+
+  void FireDueThinks() {
+    if (think_heap_.empty()) return;
+    const int64_t now = MonoUs();
+    while (!think_heap_.empty() && think_heap_.top().due_us <= now) {
+      const ThinkEntry e = think_heap_.top();
+      think_heap_.pop();
+      Conn* c = &conns_[e.conn_id];
+      // A reconnect already started a fresh transaction; drop the stale
+      // wake-up instead of double-queueing on the new session.
+      if (c->fd < 0 || c->generation != e.generation) continue;
+      QueueTraverse(c);
+      if (!c->out.empty()) {
+        SetWantWrite(c, true);
+        OnWritable(c);
+      }
+    }
+  }
+
+  int Flush() {
+    FILE* f = stdout;
+    if (!opts_.out.empty()) {
+      f = fopen(opts_.out.c_str(), "w");
+      if (f == nullptr) {
+        perror("fopen --out");
+        return 1;
+      }
+    }
+    for (const Sample& s : samples_) {
+      fprintf(f, "%lld %lld\n", static_cast<long long>(s.complete_real_us),
+              static_cast<long long>(s.latency_us));
+    }
+    fprintf(f, "# committed %llu retries %llu errors %llu reconnects %llu\n",
+            static_cast<unsigned long long>(stats_.committed),
+            static_cast<unsigned long long>(stats_.retries),
+            static_cast<unsigned long long>(stats_.errors),
+            static_cast<unsigned long long>(stats_.reconnects));
+    bool ok = ferror(f) == 0;
+    if (f != stdout) ok = (fclose(f) == 0) && ok;
+    return ok ? 0 : 1;
+  }
+
+  struct ThinkEntry {
+    int64_t due_us;
+    uint32_t conn_id;
+    uint32_t generation;
+    bool operator>(const ThinkEntry& o) const { return due_us > o.due_us; }
+  };
+
+  Options opts_;
+  int epfd_ = -1;
+  std::vector<Conn> conns_;
+  std::vector<Sample> samples_;
+  Stats stats_;
+  std::priority_queue<ThinkEntry, std::vector<ThinkEntry>,
+                      std::greater<ThinkEntry>>
+      think_heap_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        fprintf(stderr, "missing value for %s\n", a.c_str());
+        exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--host") {
+      opts.host = next();
+    } else if (a == "--port") {
+      opts.port = static_cast<uint16_t>(atoi(next()));
+    } else if (a == "--connections") {
+      opts.connections = static_cast<uint32_t>(atoi(next()));
+    } else if (a == "--duration-s") {
+      opts.duration_s = atof(next());
+    } else if (a == "--steps") {
+      opts.steps = static_cast<uint32_t>(atoi(next()));
+    } else if (a == "--update-permille") {
+      opts.update_permille = static_cast<uint32_t>(atoi(next()));
+    } else if (a == "--ref-mut-permille") {
+      opts.ref_mut_permille = static_cast<uint32_t>(atoi(next()));
+    } else if (a == "--partitions") {
+      opts.partitions = static_cast<uint32_t>(atoi(next()));
+    } else if (a == "--think-ms") {
+      opts.think_ms = atof(next());
+    } else if (a == "--seed") {
+      opts.seed = strtoull(next(), nullptr, 10);
+    } else if (a == "--out") {
+      opts.out = next();
+    } else {
+      fprintf(stderr, "unknown flag %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (opts.port == 0) {
+    fprintf(stderr, "--port is required\n");
+    return 2;
+  }
+  signal(SIGTERM, OnSigTerm);
+  signal(SIGINT, OnSigTerm);
+  signal(SIGPIPE, SIG_IGN);
+
+  Swarm swarm(opts);
+  return swarm.Run();
+}

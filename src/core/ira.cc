@@ -13,6 +13,7 @@
 #include "common/file_util.h"
 #include "core/fuzzy_traversal.h"
 #include "core/migration_pipe.h"
+#include "core/reorg_throttle.h"
 #include "storage/buffer_pool.h"
 
 namespace brahma {
@@ -419,6 +420,9 @@ Status IraReorganizer::MigrateParallel(
     std::lock_guard<std::mutex> g(claims_mu_);
     wake_pipe_ = &pipe;
   }
+  if (options.throttle != nullptr) {
+    options.throttle->AttachPipe(&pipe, options.num_workers);
+  }
   std::vector<std::thread> workers;
   workers.reserve(options.num_workers);
   for (uint32_t i = 0; i < options.num_workers; ++i) {
@@ -428,6 +432,7 @@ Status IraReorganizer::MigrateParallel(
     });
   }
   for (std::thread& t : workers) t.join();
+  if (options.throttle != nullptr) options.throttle->DetachPipe(&pipe);
   {
     std::lock_guard<std::mutex> g(claims_mu_);
     wake_pipe_ = nullptr;

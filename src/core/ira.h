@@ -18,6 +18,7 @@
 namespace brahma {
 
 class MigrationPipe;
+class ReorgThrottle;
 
 // Knobs for the Incremental Reorganization Algorithm.
 struct IraOptions {
@@ -97,6 +98,14 @@ struct IraOptions {
   // clusters are too entangled to parallelize, add one back when
   // deferrals fade. Thresholds come from params.h (kAdaptive*).
   bool adaptive_workers = false;
+
+  // SLO-driven admission control (DESIGN.md §14): when set, the parallel
+  // pipeline's worker count is additionally capped by this throttle —
+  // the serving layer feeds it live user-latency samples and it sheds or
+  // paces migration workers whenever the sliding-window p99 exceeds the
+  // SLO. Ignored by the sequential path (num_workers <= 1). The pointer
+  // must outlive Run/Resume.
+  ReorgThrottle* throttle = nullptr;
 
   // Ablation knob: run this reorganization under wait-die deadlock
   // handling instead of the session's DeadlockPolicy (the non-graph

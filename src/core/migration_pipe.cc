@@ -24,11 +24,11 @@ MigrationPipe::Next MigrationPipe::Pop(Item* out) {
     // claims. They wake for checkpoints and stop (they must rendezvous /
     // exit like everyone else), when the controller raises the target,
     // or when the pipe runs dry (so they drain out normally).
-    if (running_ > target_running_ && !AllWorkDoneLocked()) {
+    if (running_ > EffectiveTargetLocked() && !AllWorkDoneLocked()) {
       --running_;
       cv_.wait(l, [&] {
-        return stopped_ || ckpt_requested_ || running_ < target_running_ ||
-               AllWorkDoneLocked();
+        return stopped_ || ckpt_requested_ ||
+               running_ < EffectiveTargetLocked() || AllWorkDoneLocked();
       });
       ++running_;
       continue;
@@ -167,6 +167,17 @@ void MigrationPipe::AdaptLocked() {
   }
   win_migrated_ = 0;
   win_deferred_ = 0;
+}
+
+void MigrationPipe::SetWorkerCap(uint32_t cap) {
+  std::lock_guard<std::mutex> l(mu_);
+  external_cap_ = cap;
+  cv_.notify_all();  // parked workers re-check the effective target
+}
+
+uint32_t MigrationPipe::worker_cap() {
+  std::lock_guard<std::mutex> l(mu_);
+  return external_cap_;
 }
 
 void MigrationPipe::Stop(Status s) {

@@ -92,6 +92,15 @@ class MigrationPipe {
   void NoteMigrated();
   void NoteDeferral();
 
+  // External worker cap (ReorgThrottle, DESIGN.md §14): at most `cap`
+  // workers run regardless of the adaptive controller's own target;
+  // surplus workers park in Pop exactly like adaptively-shed ones —
+  // holding no locks or claims, still honoring checkpoint barriers and
+  // stop. A cap of 0 pauses the pipeline until the cap rises. Orthogonal
+  // to Options::adaptive: the effective target is the minimum of both.
+  void SetWorkerCap(uint32_t cap);
+  uint32_t worker_cap();
+
   // First failure wins, except a simulated crash always wins: a crashed
   // run must surface as crashed no matter what the other workers hit
   // while the pipeline unwound.
@@ -138,6 +147,12 @@ class MigrationPipe {
   // has accumulated. Caller holds mu_.
   void AdaptLocked();
 
+  // Worker count the pipe actually aims for: the adaptive controller's
+  // target clamped by the external throttle cap. Caller holds mu_.
+  uint32_t EffectiveTargetLocked() const {
+    return target_running_ < external_cap_ ? target_running_ : external_cap_;
+  }
+
   const Options opts_;
   std::mutex mu_;
   std::condition_variable cv_;
@@ -151,6 +166,8 @@ class MigrationPipe {
   uint32_t active_;          // workers that have not exited
   uint32_t running_;         // workers not parked by the adaptive controller
   uint32_t target_running_;  // adaptive controller's current worker target
+  // External throttle cap (SetWorkerCap); UINT32_MAX = uncapped.
+  uint32_t external_cap_ = 0xFFFFFFFFu;
   uint32_t paused_ = 0;
   bool ckpt_requested_ = false;
   bool cutter_elected_ = false;

@@ -1,0 +1,232 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+
+namespace brahma {
+namespace net {
+
+NetClient::~NetClient() { Close(); }
+
+Status NetClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::Internal(std::string("connect: ") + std::strerror(err));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  in_.clear();
+  return Status::Ok();
+}
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  in_.clear();
+}
+
+Status NetClient::SendAll(const uint8_t* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    // MSG_NOSIGNAL: a server that died mid-exchange must surface as EPIPE,
+    // not kill this process.
+    ssize_t w = ::send(fd_, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(w);
+  }
+  return Status::Ok();
+}
+
+Status NetClient::RecvFrame(uint8_t* op, std::vector<uint8_t>* payload) {
+  for (;;) {
+    if (!in_.empty()) {
+      const uint8_t* frame_payload = nullptr;
+      uint32_t payload_len = 0;
+      size_t frame_len = 0;
+      FrameResult fr =
+          ParseFrame(in_.data(), in_.size(), op, &frame_payload, &payload_len,
+                     &frame_len);
+      switch (fr) {
+        case FrameResult::kFrame:
+          payload->assign(frame_payload, frame_payload + payload_len);
+          in_.erase(in_.begin(),
+                    in_.begin() + static_cast<ptrdiff_t>(frame_len));
+          return Status::Ok();
+        case FrameResult::kNeedMore:
+          break;
+        case FrameResult::kBadCrc:
+          return Status::Corruption("reply frame failed CRC check");
+        case FrameResult::kBadVersion:
+          return Status::Corruption("reply frame has wrong protocol version");
+        case FrameResult::kTooLarge:
+          return Status::Corruption("reply frame exceeds max payload");
+      }
+    }
+    uint8_t buf[4096];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::Internal("server closed the connection");
+    }
+    in_.insert(in_.end(), buf, buf + n);
+  }
+}
+
+Status NetClient::Call(uint8_t op, const std::vector<uint8_t>& req,
+                       std::vector<uint8_t>* reply_body) {
+  if (fd_ < 0) return Status::Internal("not connected");
+  std::vector<uint8_t> frame;
+  AppendFrame(&frame, op, req);
+  Status st = SendAll(frame.data(), frame.size());
+  if (!st.ok()) return st;
+
+  uint8_t reply_op = 0;
+  std::vector<uint8_t> payload;
+  st = RecvFrame(&reply_op, &payload);
+  if (!st.ok()) return st;
+  if (reply_op != static_cast<uint8_t>(op | kReplyBit)) {
+    return Status::Corruption("reply opcode does not match request");
+  }
+  PayloadReader r(payload.data(), payload.size());
+  Status remote;
+  if (!DecodeStatus(&r, &remote)) {
+    return Status::Corruption("reply payload too short for status");
+  }
+  if (reply_body != nullptr) {
+    reply_body->clear();
+    r.GetBytes(reply_body, r.remaining());
+  }
+  return remote;
+}
+
+Status NetClient::Ping() {
+  return Call(static_cast<uint8_t>(Op::kPing), {}, nullptr);
+}
+
+Status NetClient::Begin(uint64_t* txn_id) {
+  std::vector<uint8_t> body;
+  Status st = Call(static_cast<uint8_t>(Op::kBegin), {}, &body);
+  if (!st.ok()) return st;
+  PayloadReader r(body.data(), body.size());
+  uint64_t id = 0;
+  if (!r.GetU64(&id)) {
+    return Status::Corruption("begin reply missing txn id");
+  }
+  if (txn_id != nullptr) *txn_id = id;
+  return Status::Ok();
+}
+
+Status NetClient::Commit() {
+  return Call(static_cast<uint8_t>(Op::kCommit), {}, nullptr);
+}
+
+Status NetClient::Abort() {
+  return Call(static_cast<uint8_t>(Op::kAbort), {}, nullptr);
+}
+
+Status NetClient::Read(ObjectId oid, std::vector<ObjectId>* refs,
+                       std::vector<uint8_t>* data) {
+  std::vector<uint8_t> req;
+  PutU64(&req, oid.raw());
+  std::vector<uint8_t> body;
+  Status st = Call(static_cast<uint8_t>(Op::kRead), req, &body);
+  if (!st.ok()) return st;
+  PayloadReader r(body.data(), body.size());
+  uint32_t nrefs = 0;
+  if (!r.GetU32(&nrefs)) return Status::Corruption("read reply truncated");
+  if (refs != nullptr) refs->clear();
+  for (uint32_t i = 0; i < nrefs; ++i) {
+    uint64_t raw = 0;
+    if (!r.GetU64(&raw)) return Status::Corruption("read reply truncated");
+    if (refs != nullptr) refs->push_back(ObjectId::FromRaw(raw));
+  }
+  uint32_t len = 0;
+  if (!r.GetU32(&len)) return Status::Corruption("read reply truncated");
+  std::vector<uint8_t> bytes;
+  if (!r.GetBytes(&bytes, len)) {
+    return Status::Corruption("read reply truncated");
+  }
+  if (data != nullptr) *data = std::move(bytes);
+  return Status::Ok();
+}
+
+Status NetClient::Update(ObjectId oid, const std::vector<uint8_t>& data) {
+  std::vector<uint8_t> req;
+  PutU64(&req, oid.raw());
+  PutU32(&req, static_cast<uint32_t>(data.size()));
+  req.insert(req.end(), data.begin(), data.end());
+  return Call(static_cast<uint8_t>(Op::kUpdate), req, nullptr);
+}
+
+Status NetClient::Traverse(const TraverseRequest& req) {
+  std::vector<uint8_t> payload;
+  EncodeTraverseRequest(&payload, req);
+  return Call(static_cast<uint8_t>(Op::kTraverse), payload, nullptr);
+}
+
+Status NetClient::ListRoots(uint32_t partition, std::vector<ObjectId>* roots) {
+  std::vector<uint8_t> req;
+  PutU32(&req, partition);
+  std::vector<uint8_t> body;
+  Status st = Call(static_cast<uint8_t>(Op::kListRoots), req, &body);
+  if (!st.ok()) return st;
+  PayloadReader r(body.data(), body.size());
+  uint32_t n = 0;
+  if (!r.GetU32(&n)) return Status::Corruption("listroots reply truncated");
+  if (roots != nullptr) roots->clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t raw = 0;
+    if (!r.GetU64(&raw)) {
+      return Status::Corruption("listroots reply truncated");
+    }
+    if (roots != nullptr) roots->push_back(ObjectId::FromRaw(raw));
+  }
+  return Status::Ok();
+}
+
+Status NetClient::Stats(ServerStatsReply* out) {
+  std::vector<uint8_t> body;
+  Status st = Call(static_cast<uint8_t>(Op::kStats), {}, &body);
+  if (!st.ok()) return st;
+  PayloadReader r(body.data(), body.size());
+  ServerStatsReply stats;
+  if (!DecodeServerStats(&r, &stats)) {
+    return Status::Corruption("stats reply truncated");
+  }
+  if (out != nullptr) *out = stats;
+  return Status::Ok();
+}
+
+}  // namespace net
+}  // namespace brahma

@@ -1,0 +1,77 @@
+#ifndef BRAHMA_NET_CLIENT_H_
+#define BRAHMA_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "net/wire.h"
+#include "storage/object_id.h"
+
+namespace brahma {
+namespace net {
+
+// Blocking client for the networked object server: one connection, one
+// outstanding request at a time (the swarm driver multiplexes many
+// connections with its own epoll loop instead; this class serves tests,
+// examples and per-thread drivers). Not thread-safe.
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+  NetClient(NetClient&& other) noexcept
+      : fd_(other.fd_), in_(std::move(other.in_)) {
+    other.fd_ = -1;
+  }
+  NetClient& operator=(NetClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      in_ = std::move(other.in_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  // Exposed so tests can provoke abrupt-death scenarios (SO_LINGER RST).
+  int fd() const { return fd_; }
+
+  Status Ping();
+  Status Begin(uint64_t* txn_id = nullptr);
+  Status Commit();
+  Status Abort();
+  Status Read(ObjectId oid, std::vector<ObjectId>* refs,
+              std::vector<uint8_t>* data);
+  Status Update(ObjectId oid, const std::vector<uint8_t>& data);
+  Status Traverse(const TraverseRequest& req);
+  Status ListRoots(uint32_t partition, std::vector<ObjectId>* roots);
+  Status Stats(ServerStatsReply* out);
+
+  // Raw request/response round trip: sends `req` under `op`, fills
+  // *reply_body with the response payload past the decoded Status (which
+  // becomes the return value). Local I/O or framing failures come back
+  // as Internal/Corruption. Exposed for protocol tests.
+  Status Call(uint8_t op, const std::vector<uint8_t>& req,
+              std::vector<uint8_t>* reply_body);
+
+ private:
+  Status SendAll(const uint8_t* data, size_t n);
+  // Blocks until one complete frame is buffered; verifies CRC/version.
+  Status RecvFrame(uint8_t* op, std::vector<uint8_t>* payload);
+
+  int fd_ = -1;
+  std::vector<uint8_t> in_;
+};
+
+}  // namespace net
+}  // namespace brahma
+
+#endif  // BRAHMA_NET_CLIENT_H_

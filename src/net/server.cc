@@ -1,0 +1,584 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "common/clock.h"
+#include "common/failpoint.h"
+#include "common/random.h"
+#include "workload/random_walk.h"
+
+namespace brahma {
+namespace net {
+
+namespace {
+// epoll user-data sentinels; session ids start at 1.
+constexpr uint64_t kListenTag = 0;
+constexpr uint64_t kWakeTag = ~uint64_t{0};
+}  // namespace
+
+NetServer::Session::~Session() {
+  // Last reference: no worker or epoll event can touch this session
+  // anymore, so the single-owner Transaction is safe to abort here. A
+  // session that dies mid-transaction (client crash, kill -9, protocol
+  // fault) releases every lock it held — no leaked sessions, no user
+  // transaction stuck behind a dead client's locks.
+  if (txn != nullptr && txn->state() == Transaction::State::kActive) {
+    txn->Abort();
+  }
+  if (fd >= 0) ::close(fd);
+}
+
+NetServer::NetServer(Database* db, const ServerOptions& options)
+    : db_(db), opts_(options) {}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start() {
+  if (started_) return Status::InvalidArgument("server already started");
+  // The first client that disconnects mid-response would otherwise kill
+  // the process: write(2) to a half-closed socket raises SIGPIPE whose
+  // default disposition is terminal. Every send below also passes
+  // MSG_NOSIGNAL; this covers any stray write path.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::Internal("socket: " + std::string(strerror(errno)));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    Stop();
+    return Status::InvalidArgument("bad host: " + opts_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::Internal("bind: " + std::string(strerror(errno)));
+    Stop();
+    return s;
+  }
+  socklen_t alen = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, opts_.listen_backlog) != 0) {
+    Status s = Status::Internal("listen: " + std::string(strerror(errno)));
+    Stop();
+    return s;
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    Stop();
+    return Status::Internal("epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kWakeTag;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  stop_.store(false);
+  started_ = true;
+  epoll_thread_ = std::thread([this] { EpollMain(); });
+  const uint32_t n = opts_.num_workers == 0 ? 1 : opts_.num_workers;
+  workers_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+  return Status::Ok();
+}
+
+void NetServer::Stop() {
+  if (started_) {
+    stop_.store(true);
+    WakeEpoll();
+    if (epoll_thread_.joinable()) epoll_thread_.join();
+    {
+      std::lock_guard<std::mutex> g(queue_mu_);
+      queue_cv_.notify_all();
+    }
+    for (std::thread& t : workers_) {
+      if (t.joinable()) t.join();
+    }
+    workers_.clear();
+    started_ = false;
+  }
+  {
+    // Tear down surviving sessions (open transactions abort in ~Session).
+    std::lock_guard<std::mutex> g(sessions_mu_);
+    sessions_.clear();
+  }
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  wake_fd_ = epoll_fd_ = listen_fd_ = -1;
+}
+
+uint64_t NetServer::active_sessions() const {
+  std::lock_guard<std::mutex> g(sessions_mu_);
+  return sessions_.size();
+}
+
+void NetServer::WakeEpoll() {
+  if (wake_fd_ >= 0) {
+    uint64_t one = 1;
+    ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+    (void)n;
+  }
+}
+
+void NetServer::EpollMain() {
+  std::vector<epoll_event> events(256);
+  while (!stop_.load()) {
+    int n = ::epoll_wait(epoll_fd_, events.data(),
+                         static_cast<int>(events.size()), 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == kListenTag) {
+        AcceptReady();
+        continue;
+      }
+      if (tag == kWakeTag) {
+        uint64_t drain;
+        while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      SessionPtr s;
+      {
+        std::lock_guard<std::mutex> g(sessions_mu_);
+        auto it = sessions_.find(tag);
+        if (it == sessions_.end()) continue;  // already closed this batch
+        s = it->second;
+      }
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseFromEpoll(tag);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) FlushOut(s);
+      if (events[i].events & EPOLLIN) ReadReady(s);
+    }
+    // Drop sessions the workers condemned (send failure, injected
+    // session fault, protocol error found mid-execution).
+    std::vector<uint64_t> dead;
+    {
+      std::lock_guard<std::mutex> g(dying_mu_);
+      dead.swap(dying_);
+    }
+    for (uint64_t id : dead) CloseFromEpoll(id);
+  }
+}
+
+void NetServer::AcceptReady() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient accept failure
+    BRAHMA_FAILPOINT_HIT("net:server:accept");
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    SessionPtr s;
+    uint64_t id;
+    {
+      std::lock_guard<std::mutex> g(sessions_mu_);
+      id = next_session_id_++;
+      s = std::make_shared<Session>(id, fd);
+      sessions_.emplace(id, s);
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      std::lock_guard<std::mutex> g(sessions_mu_);
+      sessions_.erase(id);
+      continue;
+    }
+    sessions_accepted_.fetch_add(1);
+  }
+}
+
+void NetServer::ReadReady(const SessionPtr& s) {
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    ssize_t n = ::recv(s->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      s->in.insert(s->in.end(), buf, buf + n);
+      if (n < static_cast<ssize_t>(sizeof(buf))) break;
+      continue;
+    }
+    if (n == 0) {  // orderly shutdown
+      CloseFromEpoll(s->id);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseFromEpoll(s->id);  // ECONNRESET from a killed client lands here
+    return;
+  }
+  if (!DrainFrames(s)) {
+    frames_rejected_.fetch_add(1);
+    sessions_dropped_.fetch_add(1);
+    CloseFromEpoll(s->id);
+  }
+}
+
+bool NetServer::DrainFrames(const SessionPtr& s) {
+  size_t off = 0;
+  bool queued_any = false;
+  while (off < s->in.size()) {
+    uint8_t op;
+    const uint8_t* payload;
+    uint32_t payload_len;
+    size_t frame_len;
+    FrameResult r = ParseFrame(s->in.data() + off, s->in.size() - off, &op,
+                               &payload, &payload_len, &frame_len);
+    if (r == FrameResult::kNeedMore) break;
+    if (r != FrameResult::kFrame) return false;  // poisoned byte stream
+    Request req;
+    req.op = op;
+    req.payload.assign(payload, payload + payload_len);
+    req.arrival_us = NowMicros();
+    {
+      std::lock_guard<std::mutex> g(s->mu);
+      s->pending.push_back(std::move(req));
+    }
+    queued_any = true;
+    off += frame_len;
+  }
+  if (off > 0) s->in.erase(s->in.begin(), s->in.begin() + static_cast<long>(off));
+  if (queued_any) EnqueueSession(s);
+  return true;
+}
+
+void NetServer::EnqueueSession(const SessionPtr& s) {
+  {
+    std::lock_guard<std::mutex> g(s->mu);
+    if (s->queued || s->pending.empty()) return;
+    s->queued = true;
+  }
+  std::lock_guard<std::mutex> g(queue_mu_);
+  work_queue_.push_back(s);
+  queue_cv_.notify_one();
+}
+
+void NetServer::WorkerMain() {
+  for (;;) {
+    SessionPtr s;
+    {
+      std::unique_lock<std::mutex> l(queue_mu_);
+      queue_cv_.wait(l, [&] { return stop_.load() || !work_queue_.empty(); });
+      if (work_queue_.empty()) {
+        if (stop_.load()) return;
+        continue;
+      }
+      s = std::move(work_queue_.front());
+      work_queue_.pop_front();
+    }
+    // This worker exclusively owns the session until it clears `queued`:
+    // requests execute in order, never concurrently.
+    for (;;) {
+      Request req;
+      {
+        std::lock_guard<std::mutex> g(s->mu);
+        if (s->pending.empty()) {
+          s->queued = false;
+          break;
+        }
+        req = std::move(s->pending.front());
+        s->pending.pop_front();
+      }
+      if (s->closed.load()) continue;  // drain without executing
+      Execute(s, req);
+    }
+    if (stop_.load()) {
+      std::lock_guard<std::mutex> g(queue_mu_);
+      if (work_queue_.empty()) return;
+    }
+  }
+}
+
+void NetServer::Execute(const SessionPtr& s, const Request& req) {
+  // Injected session fault (tests): the session drops abruptly —
+  // exactly what a server-side failure mid-request looks like to the
+  // client — while the rest of the server keeps serving.
+  Status fault = failpoint::Check("net:session:request");
+  if (!fault.ok()) {
+    sessions_dropped_.fetch_add(1);
+    RequestClose(s);
+    return;
+  }
+
+  PayloadReader r(req.payload.data(), req.payload.size());
+  Status st = Status::Ok();
+  std::vector<uint8_t> body;
+  switch (static_cast<Op>(req.op)) {
+    case Op::kPing:
+      break;
+    case Op::kBegin:
+      if (s->txn != nullptr) {
+        st = Status::InvalidArgument("transaction already open");
+      } else {
+        s->txn = db_->Begin();
+        PutU64(&body, s->txn->id());
+      }
+      break;
+    case Op::kCommit:
+      if (s->txn == nullptr) {
+        st = Status::InvalidArgument("no open transaction");
+      } else {
+        st = s->txn->Commit();
+        s->txn.reset();
+      }
+      break;
+    case Op::kAbort:
+      if (s->txn == nullptr) {
+        st = Status::InvalidArgument("no open transaction");
+      } else {
+        st = s->txn->Abort();
+        s->txn.reset();
+      }
+      break;
+    case Op::kRead:
+      st = DoRead(s.get(), &r, &body);
+      break;
+    case Op::kUpdate:
+      st = DoUpdate(s.get(), &r);
+      break;
+    case Op::kTraverse:
+      st = DoTraverse(&r);
+      break;
+    case Op::kListRoots:
+      st = DoListRoots(&r, &body);
+      break;
+    case Op::kStats: {
+      ServerStatsReply stats;
+      stats.sessions_accepted = sessions_accepted_.load();
+      stats.active_sessions = active_sessions();
+      stats.requests_served = requests_served_.load();
+      stats.frames_rejected = frames_rejected_.load();
+      stats.sessions_dropped = sessions_dropped_.load();
+      stats.throttle_cap =
+          opts_.throttle != nullptr ? opts_.throttle->current_cap() : 0;
+      EncodeServerStats(&body, stats);
+      break;
+    }
+    default:
+      st = Status::InvalidArgument("unknown opcode " +
+                                   std::to_string(req.op));
+      break;
+  }
+  requests_served_.fetch_add(1);
+  if (opts_.throttle != nullptr) {
+    opts_.throttle->Record(
+        MicrosToMillis(NowMicros() - req.arrival_us));
+  }
+  SendReply(s, req.op, st, body);
+}
+
+Status NetServer::DoRead(Session* s, PayloadReader* r,
+                         std::vector<uint8_t>* body) {
+  uint64_t raw;
+  if (!r->GetU64(&raw)) return Status::InvalidArgument("short read request");
+  const ObjectId oid = ObjectId::FromRaw(raw);
+  std::unique_ptr<Transaction> auto_txn;
+  Transaction* t = s->txn.get();
+  if (t == nullptr) {
+    auto_txn = db_->Begin();
+    t = auto_txn.get();
+  }
+  const bool latchfree = db_->options().latchfree_reads;
+  Status st;
+  if (!latchfree) {
+    st = t->Lock(oid, LockMode::kShared);
+    if (!st.ok()) {
+      if (auto_txn != nullptr) auto_txn->Abort();
+      return st;
+    }
+  }
+  std::vector<ObjectId> refs;
+  std::vector<uint8_t> data;
+  st = t->ReadRefs(oid, &refs);
+  if (st.ok()) st = t->ReadData(oid, &data);
+  if (!st.ok()) {
+    if (auto_txn != nullptr) auto_txn->Abort();
+    return st;
+  }
+  if (auto_txn != nullptr) {
+    st = auto_txn->Commit();
+    if (!st.ok()) return st;
+  }
+  PutU32(body, static_cast<uint32_t>(refs.size()));
+  for (ObjectId ref : refs) PutU64(body, ref.raw());
+  PutU32(body, static_cast<uint32_t>(data.size()));
+  body->insert(body->end(), data.begin(), data.end());
+  return Status::Ok();
+}
+
+Status NetServer::DoUpdate(Session* s, PayloadReader* r) {
+  uint64_t raw;
+  uint32_t len;
+  if (!r->GetU64(&raw) || !r->GetU32(&len)) {
+    return Status::InvalidArgument("short update request");
+  }
+  std::vector<uint8_t> data;
+  if (!r->GetBytes(&data, len)) {
+    return Status::InvalidArgument("short update payload");
+  }
+  const ObjectId oid = ObjectId::FromRaw(raw);
+  std::unique_ptr<Transaction> auto_txn;
+  Transaction* t = s->txn.get();
+  if (t == nullptr) {
+    auto_txn = db_->Begin();
+    t = auto_txn.get();
+  }
+  Status st = t->Lock(oid, LockMode::kExclusive);
+  if (st.ok()) st = t->WriteData(oid, data);
+  if (!st.ok()) {
+    if (auto_txn != nullptr) auto_txn->Abort();
+    return st;
+  }
+  if (auto_txn != nullptr) return auto_txn->Commit();
+  return Status::Ok();
+}
+
+Status NetServer::DoTraverse(PayloadReader* r) {
+  TraverseRequest req;
+  if (!DecodeTraverseRequest(r, &req)) {
+    return Status::InvalidArgument("short traverse request");
+  }
+  if (opts_.graph == nullptr) {
+    return Status::InvalidArgument("server has no graph");
+  }
+  if (req.home_partition == 0 ||
+      req.home_partition > opts_.graph->partition_dirs.size()) {
+    return Status::InvalidArgument("bad home partition");
+  }
+  WorkloadParams params = opts_.workload;
+  params.ops_per_txn = req.steps;
+  params.update_prob = static_cast<double>(req.update_permille) / 1000.0;
+  params.ref_mutation_prob =
+      static_cast<double>(req.ref_mutation_permille) / 1000.0;
+  params.abort_prob = 0;
+  Random rng(req.seed);
+  // One paper-style user transaction (Section 5.2), lock waits and all;
+  // TimedOut/Aborted propagate and the client retries — response time
+  // accumulates client-side across retries exactly like the in-process
+  // driver's retry-until-commit loop.
+  return RunWalkOnce(db_, params, *opts_.graph, req.home_partition, &rng);
+}
+
+Status NetServer::DoListRoots(PayloadReader* r, std::vector<uint8_t>* body) {
+  uint32_t partition;
+  if (!r->GetU32(&partition)) {
+    return Status::InvalidArgument("short list-roots request");
+  }
+  if (opts_.graph == nullptr) {
+    return Status::InvalidArgument("server has no graph");
+  }
+  if (partition == 0 || partition > opts_.graph->cluster_roots.size()) {
+    return Status::InvalidArgument("bad partition");
+  }
+  const std::vector<ObjectId>& roots =
+      opts_.graph->cluster_roots[partition - 1];
+  PutU32(body, static_cast<uint32_t>(roots.size()));
+  for (ObjectId root : roots) PutU64(body, root.raw());
+  return Status::Ok();
+}
+
+void NetServer::SendReply(const SessionPtr& s, uint8_t op, const Status& st,
+                          const std::vector<uint8_t>& body) {
+  if (s->closed.load()) return;
+  std::vector<uint8_t> payload;
+  payload.reserve(body.size() + 16);
+  EncodeStatus(&payload, st);
+  payload.insert(payload.end(), body.begin(), body.end());
+  {
+    std::lock_guard<std::mutex> g(s->out_mu);
+    AppendFrame(&s->out, op | kReplyBit, payload);
+  }
+  FlushOut(s);
+}
+
+void NetServer::FlushOut(const SessionPtr& s) {
+  std::lock_guard<std::mutex> g(s->out_mu);
+  while (s->out_off < s->out.size()) {
+    // MSG_NOSIGNAL: a peer that vanished mid-response yields EPIPE, not
+    // a process-killing SIGPIPE.
+    ssize_t n = ::send(s->fd, s->out.data() + s->out_off,
+                       s->out.size() - s->out_off, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      s->out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!s->want_write) {
+        s->want_write = true;
+        UpdateEpollInterest(s, true);
+      }
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    RequestClose(s);  // EPIPE / ECONNRESET: the one session dies, not us
+    return;
+  }
+  s->out.clear();
+  s->out_off = 0;
+  if (s->want_write) {
+    s->want_write = false;
+    UpdateEpollInterest(s, false);
+  }
+}
+
+void NetServer::UpdateEpollInterest(const SessionPtr& s, bool want_write) {
+  if (epoll_fd_ < 0) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_write ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  ev.data.u64 = s->id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, s->fd, &ev);
+}
+
+void NetServer::RequestClose(const SessionPtr& s) {
+  if (s->closed.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> g(dying_mu_);
+    dying_.push_back(s->id);
+  }
+  WakeEpoll();
+}
+
+void NetServer::CloseFromEpoll(uint64_t id) {
+  SessionPtr s;
+  {
+    std::lock_guard<std::mutex> g(sessions_mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;
+    s = std::move(it->second);
+    sessions_.erase(it);
+  }
+  s->closed.store(true);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, s->fd, nullptr);
+  // The fd stays open until the last SessionPtr drops (an in-flight
+  // worker may still hold one); ~Session aborts the open transaction
+  // and closes it.
+}
+
+}  // namespace net
+}  // namespace brahma

@@ -1,0 +1,172 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/file_util.h"
+
+namespace brahma {
+namespace net {
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint16_t LoadU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadU32(p)) |
+         (static_cast<uint64_t>(LoadU32(p + 4)) << 32);
+}
+
+bool PayloadReader::GetU8(uint8_t* v) {
+  if (remaining() < 1) return false;
+  *v = *p_++;
+  return true;
+}
+
+bool PayloadReader::GetU32(uint32_t* v) {
+  if (remaining() < 4) return false;
+  *v = LoadU32(p_);
+  p_ += 4;
+  return true;
+}
+
+bool PayloadReader::GetU64(uint64_t* v) {
+  if (remaining() < 8) return false;
+  *v = LoadU64(p_);
+  p_ += 8;
+  return true;
+}
+
+bool PayloadReader::GetBytes(std::vector<uint8_t>* out, size_t n) {
+  if (remaining() < n) return false;
+  out->assign(p_, p_ + n);
+  p_ += n;
+  return true;
+}
+
+void AppendFrame(std::vector<uint8_t>* out, uint8_t op,
+                 const uint8_t* payload, size_t payload_len) {
+  const size_t base = out->size();
+  PutU32(out, static_cast<uint32_t>(payload_len));
+  PutU8(out, kWireVersion);
+  PutU8(out, op);
+  uint32_t crc = Crc32c(out->data() + base, 6);
+  crc = Crc32c(payload, payload_len, crc);
+  PutU32(out, crc);
+  out->insert(out->end(), payload, payload + payload_len);
+}
+
+FrameResult ParseFrame(const uint8_t* data, size_t n, uint8_t* op,
+                       const uint8_t** payload, uint32_t* payload_len,
+                       size_t* frame_len) {
+  if (n < kFrameHeaderSize) return FrameResult::kNeedMore;
+  const uint32_t len = LoadU32(data);
+  if (len > kMaxFramePayload) return FrameResult::kTooLarge;
+  if (n < kFrameHeaderSize + len) return FrameResult::kNeedMore;
+  uint32_t crc = Crc32c(data, 6);
+  crc = Crc32c(data + kFrameHeaderSize, len, crc);
+  if (crc != LoadU32(data + 6)) return FrameResult::kBadCrc;
+  if (data[4] != kWireVersion) return FrameResult::kBadVersion;
+  *op = data[5];
+  *payload = data + kFrameHeaderSize;
+  *payload_len = len;
+  *frame_len = kFrameHeaderSize + len;
+  return FrameResult::kFrame;
+}
+
+void EncodeStatus(std::vector<uint8_t>* out, const Status& s) {
+  PutU8(out, static_cast<uint8_t>(s.code()));
+  const std::string& msg = s.message();
+  PutU32(out, static_cast<uint32_t>(msg.size()));
+  out->insert(out->end(), msg.begin(), msg.end());
+}
+
+bool DecodeStatus(PayloadReader* r, Status* out) {
+  uint8_t code;
+  uint32_t len;
+  if (!r->GetU8(&code) || !r->GetU32(&len)) return false;
+  std::vector<uint8_t> msg_bytes;
+  if (!r->GetBytes(&msg_bytes, len)) return false;
+  std::string msg(msg_bytes.begin(), msg_bytes.end());
+  switch (static_cast<Status::Code>(code)) {
+    case Status::Code::kOk: *out = Status::Ok(); break;
+    case Status::Code::kNotFound: *out = Status::NotFound(msg); break;
+    case Status::Code::kCorruption: *out = Status::Corruption(msg); break;
+    case Status::Code::kInvalidArgument:
+      *out = Status::InvalidArgument(msg);
+      break;
+    case Status::Code::kTimedOut: *out = Status::TimedOut(msg); break;
+    case Status::Code::kAborted: *out = Status::Aborted(msg); break;
+    case Status::Code::kBusy: *out = Status::Busy(msg); break;
+    case Status::Code::kNoSpace: *out = Status::NoSpace(msg); break;
+    case Status::Code::kInternal: *out = Status::Internal(msg); break;
+    case Status::Code::kRetryExhausted:
+      *out = Status::RetryExhausted(msg);
+      break;
+    case Status::Code::kDegraded: *out = Status::Degraded(msg); break;
+    case Status::Code::kCrashed: *out = Status::Crashed(msg); break;
+    case Status::Code::kDeadlockVictim:
+      *out = Status::DeadlockVictim(msg);
+      break;
+    default:
+      *out = Status::Internal("unknown wire status code " +
+                              std::to_string(code));
+      break;
+  }
+  return true;
+}
+
+void EncodeTraverseRequest(std::vector<uint8_t>* out,
+                           const TraverseRequest& req) {
+  PutU32(out, req.home_partition);
+  PutU32(out, req.steps);
+  PutU32(out, req.update_permille);
+  PutU32(out, req.ref_mutation_permille);
+  PutU64(out, req.seed);
+}
+
+bool DecodeTraverseRequest(PayloadReader* r, TraverseRequest* out) {
+  return r->GetU32(&out->home_partition) && r->GetU32(&out->steps) &&
+         r->GetU32(&out->update_permille) &&
+         r->GetU32(&out->ref_mutation_permille) && r->GetU64(&out->seed);
+}
+
+void EncodeServerStats(std::vector<uint8_t>* out, const ServerStatsReply& s) {
+  PutU64(out, s.sessions_accepted);
+  PutU64(out, s.active_sessions);
+  PutU64(out, s.requests_served);
+  PutU64(out, s.frames_rejected);
+  PutU64(out, s.sessions_dropped);
+  PutU64(out, s.throttle_cap);
+}
+
+bool DecodeServerStats(PayloadReader* r, ServerStatsReply* out) {
+  return r->GetU64(&out->sessions_accepted) &&
+         r->GetU64(&out->active_sessions) &&
+         r->GetU64(&out->requests_served) &&
+         r->GetU64(&out->frames_rejected) &&
+         r->GetU64(&out->sessions_dropped) && r->GetU64(&out->throttle_cap);
+}
+
+}  // namespace net
+}  // namespace brahma

@@ -1,0 +1,135 @@
+#ifndef BRAHMA_NET_WIRE_H_
+#define BRAHMA_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/object_id.h"
+
+namespace brahma {
+namespace net {
+
+// Wire protocol of the networked object server (DESIGN.md §14).
+//
+// Every message is one length-prefixed binary frame:
+//
+//   [u32 payload_len][u8 version][u8 opcode][u32 crc][payload bytes]
+//
+// with the CRC32C (the same Crc32c helper DiskLog frames use) covering
+// the first six header bytes plus the payload, so a frame damaged
+// anywhere — length, version, opcode, or body — fails verification.
+// All integers are little-endian. Responses echo the request opcode
+// with kReplyBit set; their payload starts with an encoded Status
+// (code byte + message) followed by the op-specific body.
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 10;
+// Guards the session buffer against a garbled or hostile length prefix.
+inline constexpr uint32_t kMaxFramePayload = 1u << 20;
+inline constexpr uint8_t kReplyBit = 0x80;
+
+enum class Op : uint8_t {
+  kPing = 1,      // -> empty
+  kBegin = 2,     // -> u64 txn id; one open transaction per session
+  kCommit = 3,    // -> empty
+  kAbort = 4,     // -> empty
+  kRead = 5,      // u64 oid -> u32 nrefs, nrefs*u64, u32 len, bytes
+  kUpdate = 6,    // u64 oid, u32 len, bytes -> empty (X lock + write)
+  kTraverse = 7,  // TraverseRequest -> empty (outcome travels as Status)
+  kListRoots = 8, // u32 partition -> u32 n, n*u64 cluster roots
+  kStats = 9,     // -> ServerStatsReply
+};
+
+// One paper-style user transaction run entirely server-side: a random
+// walk of `steps` objects from a cluster root of `home_partition`,
+// updating each visited object with probability update_permille/1000
+// (probabilities travel as permille so the frame stays integral).
+struct TraverseRequest {
+  uint32_t home_partition = 1;
+  uint32_t steps = 8;
+  uint32_t update_permille = 0;
+  uint32_t ref_mutation_permille = 0;
+  uint64_t seed = 0;
+};
+
+// Counters surfaced by Op::kStats (tests and the swarm driver's sanity
+// checks; all monotone except active_sessions and throttle_cap).
+struct ServerStatsReply {
+  uint64_t sessions_accepted = 0;
+  uint64_t active_sessions = 0;
+  uint64_t requests_served = 0;
+  uint64_t frames_rejected = 0;
+  uint64_t sessions_dropped = 0;  // protocol errors / injected faults
+  uint64_t throttle_cap = 0;      // current worker cap, 0 = no throttle
+};
+
+// --- little-endian primitives (exposed for tests) ------------------------
+void PutU8(std::vector<uint8_t>* out, uint8_t v);
+void PutU16(std::vector<uint8_t>* out, uint16_t v);
+void PutU32(std::vector<uint8_t>* out, uint32_t v);
+void PutU64(std::vector<uint8_t>* out, uint64_t v);
+uint16_t LoadU16(const uint8_t* p);
+uint32_t LoadU32(const uint8_t* p);
+uint64_t LoadU64(const uint8_t* p);
+
+// Bounds-checked sequential reader over a frame payload. Every Get
+// returns false once the payload is exhausted — a short frame decodes
+// to an error, never to an out-of-bounds read.
+class PayloadReader {
+ public:
+  PayloadReader(const uint8_t* data, size_t n) : p_(data), end_(data + n) {}
+
+  bool GetU8(uint8_t* v);
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetBytes(std::vector<uint8_t>* out, size_t n);
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+ private:
+  const uint8_t* p_;
+  const uint8_t* end_;
+};
+
+// --- framing -------------------------------------------------------------
+// Appends one complete frame (header + CRC + payload) to *out.
+void AppendFrame(std::vector<uint8_t>* out, uint8_t op,
+                 const uint8_t* payload, size_t payload_len);
+inline void AppendFrame(std::vector<uint8_t>* out, uint8_t op,
+                        const std::vector<uint8_t>& payload) {
+  AppendFrame(out, op, payload.data(), payload.size());
+}
+
+enum class FrameResult {
+  kFrame,       // a complete, verified frame starts at data[0]
+  kNeedMore,    // prefix of a frame; read more bytes
+  kBadCrc,      // verification failed — the connection is poisoned
+  kBadVersion,  // intact frame from an incompatible protocol version
+  kTooLarge,    // length prefix exceeds kMaxFramePayload
+};
+
+// Examines the buffered byte stream starting at data[0]. On kFrame,
+// *op/*payload/*payload_len describe the frame (payload points into
+// data) and *frame_len is the total bytes to consume. kBadCrc,
+// kBadVersion and kTooLarge are unrecoverable for a byte stream — the
+// peer and this end have lost framing — so callers close the session.
+FrameResult ParseFrame(const uint8_t* data, size_t n, uint8_t* op,
+                       const uint8_t** payload, uint32_t* payload_len,
+                       size_t* frame_len);
+
+// --- status + request/response codecs ------------------------------------
+void EncodeStatus(std::vector<uint8_t>* out, const Status& s);
+// False when the payload is too short to hold an encoded Status.
+bool DecodeStatus(PayloadReader* r, Status* out);
+
+void EncodeTraverseRequest(std::vector<uint8_t>* out,
+                           const TraverseRequest& req);
+bool DecodeTraverseRequest(PayloadReader* r, TraverseRequest* out);
+
+void EncodeServerStats(std::vector<uint8_t>* out, const ServerStatsReply& s);
+bool DecodeServerStats(PayloadReader* r, ServerStatsReply* out);
+
+}  // namespace net
+}  // namespace brahma
+
+#endif  // BRAHMA_NET_WIRE_H_
